@@ -1,0 +1,103 @@
+// Command powerfail runs a single power-fault injection experiment against
+// a simulated drive and prints the analyzer's report, mirroring the
+// paper's test-platform workflow: configure a workload, schedule faults,
+// verify checksums, classify failures.
+//
+// Examples:
+//
+//	powerfail -profile A -faults 100 -write-pct 100
+//	powerfail -profile B -faults 50 -size 4096 -pattern sequential
+//	powerfail -profile A -faults 40 -sequence WAW -seed 7
+//	powerfail -profile A -faults 30 -window-delay 200ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"powerfail"
+	"powerfail/internal/sim"
+)
+
+func main() {
+	var (
+		profile  = flag.String("profile", "A", "drive under test: A, B or C (Table I)")
+		seed     = flag.Uint64("seed", 1, "experiment seed (reports reproduce per seed)")
+		faults   = flag.Int("faults", 50, "power faults to inject")
+		perFault = flag.Int("requests-per-fault", 16, "completed requests between faults")
+		wssGB    = flag.Int("wss", 16, "working set size in GB")
+		minKB    = flag.Int("min-size", 4, "minimum request size in KB")
+		maxKB    = flag.Int("max-size", 1024, "maximum request size in KB")
+		sizeB    = flag.Int("size", 0, "fixed request size in bytes (overrides min/max)")
+		readPct  = flag.Int("read-pct", 0, "percentage of read requests")
+		pattern  = flag.String("pattern", "random", "access pattern: random or sequential")
+		sequence = flag.String("sequence", "", "paired accesses: RAR, RAW, WAR or WAW")
+		iops     = flag.Float64("iops", 0, "requested IOPS (0 = closed loop)")
+		nocache  = flag.Bool("disable-cache", false, "disable the drive's internal write cache")
+		supercap = flag.Bool("supercap", false, "equip the drive with power-loss protection")
+		window   = flag.Duration("window-delay", -1, "inject faults this long after a request's ACK (Sec. IV-A mode)")
+	)
+	flag.Parse()
+
+	prof, ok := powerfail.ProfileByName(*profile)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown profile %q; use A, B or C\n", *profile)
+		os.Exit(2)
+	}
+	if *nocache {
+		prof = prof.WithCacheDisabled()
+	}
+	if *supercap {
+		prof = prof.WithSuperCap()
+	}
+
+	w := powerfail.Workload{
+		Name:     "cli",
+		WSSBytes: int64(*wssGB) << 30,
+		MinSize:  *minKB << 10,
+		MaxSize:  *maxKB << 10,
+		ReadPct:  *readPct,
+		IOPS:     *iops,
+	}
+	if *sizeB > 0 {
+		w.FixedSize = *sizeB
+		w.MinSize, w.MaxSize = 0, 0
+	}
+	if strings.EqualFold(*pattern, "sequential") {
+		w.Pattern = powerfail.SequentialPattern
+	}
+	switch strings.ToUpper(*sequence) {
+	case "":
+	case "RAR":
+		w.Sequence = powerfail.RAR
+	case "RAW":
+		w.Sequence = powerfail.RAW
+	case "WAR":
+		w.Sequence = powerfail.WAR
+	case "WAW":
+		w.Sequence = powerfail.WAW
+	default:
+		fmt.Fprintf(os.Stderr, "unknown sequence %q\n", *sequence)
+		os.Exit(2)
+	}
+
+	spec := powerfail.Experiment{
+		Name:             "cli",
+		Workload:         w,
+		Faults:           *faults,
+		RequestsPerFault: *perFault,
+	}
+	if *window >= 0 {
+		spec.WindowMode = true
+		spec.PostACKDelay = sim.Duration(window.Nanoseconds())
+	}
+
+	rep, err := powerfail.Run(powerfail.Options{Seed: *seed, Profile: prof}, spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep)
+}

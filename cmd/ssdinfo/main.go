@@ -1,0 +1,56 @@
+// Command ssdinfo prints the Table I drive inventory and the derived model
+// parameters (geometry, ECC budget, cache, power thresholds) for each
+// profile, so experiments can be read against the hardware they model.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"powerfail/internal/ssd"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print derived model parameters")
+	flag.Parse()
+
+	fmt.Println("SSDs under test (Table I of the paper):")
+	fmt.Println()
+	fmt.Printf("%-4s %-8s %-10s %-14s %-14s %-6s %-6s\n",
+		"SSD", "Size(GB)", "Interface", "InternalCache", "ECC", "Cell", "Year")
+	for _, p := range ssd.Profiles() {
+		cache := "No"
+		if p.HasCache {
+			cache = fmt.Sprintf("Yes(%dMB)", p.CacheMB)
+		}
+		year := "NA"
+		if p.ReleaseYear > 0 {
+			year = fmt.Sprintf("%d", p.ReleaseYear)
+		}
+		fmt.Printf("%-4s %-8d %-10s %-14s %-14s %-6s %-6s\n",
+			p.Name, p.CapacityGB, p.Interface, cache,
+			fmt.Sprintf("%s(%db/KB)", p.ECC.Scheme, p.ECC.CorrectPerKB), p.Cell, year)
+	}
+	if !*verbose {
+		return
+	}
+	for _, p := range ssd.Profiles() {
+		fmt.Printf("\n--- SSD %s model detail ---\n", p.Name)
+		fmt.Printf("  geometry:        %s\n", p.Geometry())
+		fmt.Printf("  user pages:      %d (4 KiB each)\n", p.UserPages())
+		fmt.Printf("  channels:        %d\n", p.Channels)
+		fmt.Printf("  nand timing:     read %s, program %s, erase %s\n",
+			p.Timing.ReadPage, p.Timing.ProgramPage, p.Timing.EraseBlock)
+		fmt.Printf("  base BER:        %.1e (endurance %d P/E)\n", p.BaseBER, p.EnduranceCycles)
+		fmt.Printf("  ispp steps:      %d, pair-corrupt peak p=%.2f\n",
+			p.Cell.ProgramSteps(), p.Cell.PairCorruptProb())
+		fmt.Printf("  link:            %.0f MB/s, cmd overhead %s\n",
+			p.LinkBytesPerSec/1e6, p.CmdOverhead)
+		fmt.Printf("  power:           brownout %.2f V, controller reset %.2f V, load %.1f ohm\n",
+			p.BrownoutVolts, p.DieVolts, p.LoadOhms)
+		fmt.Printf("  flush policy:    high-water %dp, idle age %s, tick %s\n",
+			p.FlushHighPages, p.FlushIdleAge, p.FlushTick)
+		fmt.Printf("  mapping policy:  journal tick %s, run max %dp, OOB scan %dp/lane\n",
+			p.JournalTick, p.RunMaxPages, p.ScanWindowPages)
+	}
+}

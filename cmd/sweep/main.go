@@ -1,0 +1,158 @@
+// Command sweep regenerates the paper's tables and figures on the
+// simulated platform. Each figure is a series of fault-injection
+// experiments; the output is a markdown table per figure with the same
+// rows/series the paper plots.
+//
+// Usage:
+//
+//	sweep -set all -scale 0.2        # every figure at 20% of paper-size
+//	sweep -set fig7 -scale 1         # Fig. 7 at full scale
+//	sweep -set fig4                  # PSU discharge curves (no faults)
+//	sweep -set tablei                # Table I inventory + per-drive runs
+//
+// Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powerfail"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+)
+
+func main() {
+	set := flag.String("set", "all", "figure id to regenerate (or 'all')")
+	scale := flag.Float64("scale", 0.2, "fraction of the paper's fault counts")
+	verbose := flag.Bool("v", false, "print every experiment report")
+	flag.Parse()
+
+	if *set == "fig4" {
+		printFig4()
+		return
+	}
+	if *set == "tablei" || *set == "all" {
+		printTableI()
+	}
+	if *set == "fig4" || *set == "all" {
+		printFig4()
+	}
+
+	items, err := powerfail.ItemsFor(*set, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	results := powerfail.RunCatalog(items, func(res powerfail.CatalogResult) {
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL %s/%s: %v\n", res.Item.Figure, res.Item.Label, res.Err)
+			return
+		}
+		if *verbose {
+			fmt.Printf("%s\n", res.Report)
+		} else {
+			fmt.Fprintf(os.Stderr, "done %s/%s (%.1fs wall)\n",
+				res.Item.Figure, res.Item.Label, time.Since(start).Seconds())
+		}
+	})
+
+	byFigure := map[string][]powerfail.CatalogResult{}
+	var order []string
+	for _, res := range results {
+		if _, ok := byFigure[res.Item.Figure]; !ok {
+			order = append(order, res.Item.Figure)
+		}
+		byFigure[res.Item.Figure] = append(byFigure[res.Item.Figure], res)
+	}
+	for _, fig := range order {
+		printFigure(fig, byFigure[fig])
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(start).Seconds())
+}
+
+func printFigure(fig string, results []powerfail.CatalogResult) {
+	fmt.Printf("\n## %s\n\n", figureTitle(fig))
+	fmt.Printf("| point | faults | data failures | FWA | IO errors | data loss/fault | responded IOPS |\n")
+	fmt.Printf("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, res := range results {
+		if res.Err != nil {
+			fmt.Printf("| %s | ERROR: %v |\n", res.Item.Label, res.Err)
+			continue
+		}
+		r := res.Report
+		fmt.Printf("| %s | %d | %d | %d | %d | %.2f | %.0f |\n",
+			res.Item.Label, r.Faults, r.Counters.DataFailures, r.Counters.FWA,
+			r.Counters.IOErrors, r.DataLossPerFault, r.RespondedIOPS)
+	}
+}
+
+func figureTitle(fig string) string {
+	switch fig {
+	case "fig5":
+		return "Fig. 5 — impact of request type (read percentage)"
+	case "fig6":
+		return "Fig. 6 — impact of workload working set size"
+	case "fig7":
+		return "Fig. 7 — impact of request size"
+	case "fig8":
+		return "Fig. 8 — impact of requested IOPS"
+	case "fig9":
+		return "Fig. 9 — impact of access sequence (RAR/RAW/WAR/WAW)"
+	case "window":
+		return "Sec. IV-A — data loss vs fault delay after request completion"
+	case "seqrand":
+		return "Sec. IV-D — random vs sequential access pattern"
+	case "tablei":
+		return "Table I — drive behaviour under the base workload"
+	case "ablation":
+		return "Ablations — design-choice sensitivity"
+	default:
+		return fig
+	}
+}
+
+func printTableI() {
+	fmt.Printf("\n## Table I — SSDs under test\n\n")
+	fmt.Printf("| SSD | Size (GB) | Interface | Internal cache | ECC | Cell | Release year |\n")
+	fmt.Printf("|---|---:|---|---|---|---|---|\n")
+	for _, p := range ssd.Profiles() {
+		cache := "No"
+		if p.HasCache {
+			cache = fmt.Sprintf("Yes (%d MB)", p.CacheMB)
+		}
+		year := "NA"
+		if p.ReleaseYear > 0 {
+			year = fmt.Sprintf("%d", p.ReleaseYear)
+		}
+		fmt.Printf("| %s | %d | %s | %s | %s (%d b/KB) | %s | %s |\n",
+			p.Name, p.CapacityGB, p.Interface, cache, p.ECC.Scheme, p.ECC.CorrectPerKB,
+			p.Cell, year)
+	}
+}
+
+func printFig4() {
+	fmt.Printf("\n## Fig. 4 — PSU output voltage during the discharge phase\n\n")
+	for _, withSSD := range []bool{false, true} {
+		label := "(a) no device attached"
+		if withSSD {
+			label = "(b) one SSD attached"
+		}
+		curve, brownout := powerfail.DischargeCurve(withSSD, 100*sim.Millisecond, 1600*sim.Millisecond)
+		fmt.Printf("%s:\n\n| t (ms) | V |\n|---:|---:|\n", label)
+		for _, pt := range curve {
+			fmt.Printf("| %.0f | %.2f |\n", pt.T.Millis(), pt.V)
+		}
+		if withSSD {
+			fine, b := powerfail.DischargeCurve(true, sim.Millisecond, 100*sim.Millisecond)
+			_ = fine
+			fmt.Printf("\nSSD brownout (4.5 V) crossing: %.0f ms after the cut\n", b.Millis())
+		} else {
+			_ = brownout
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,31 @@
+// Discharge plots the PSU's output voltage after a cut (the paper's
+// Fig. 4) as ASCII, with and without an SSD attached, and marks the 4.5 V
+// brownout crossing the drive experiences roughly 40 ms after the cut.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"powerfail"
+	"powerfail/internal/sim"
+)
+
+func main() {
+	fmt.Println("PSU 5 V rail during the discharge phase (Fig. 4)")
+	for _, withSSD := range []bool{false, true} {
+		label := "(a) no device attached"
+		if withSSD {
+			label = "(b) one SSD attached"
+		}
+		curve, _ := powerfail.DischargeCurve(withSSD, 50*sim.Millisecond, 1500*sim.Millisecond)
+		fmt.Printf("\n%s\n", label)
+		for _, pt := range curve {
+			bar := strings.Repeat("#", int(pt.V*12))
+			fmt.Printf("%6.0f ms | %-62s %.2f V\n", pt.T.Millis(), bar, pt.V)
+		}
+	}
+	_, brownout := powerfail.DischargeCurve(true, sim.Millisecond, 100*sim.Millisecond)
+	fmt.Printf("\nWith the SSD attached the rail crosses 4.5 V (host link loss) %.0f ms after the cut;\n", brownout.Millis())
+	fmt.Println("the paper measures ~40 ms, ~900 ms to full discharge loaded, ~1400 ms unloaded.")
+}

@@ -1,0 +1,123 @@
+// Hddcompare runs the same power-fault schedule against the simulated SSD
+// and a write-through hard disk on the platform's block layer. The HDD's
+// mechanical, write-through path acknowledges only durable data, so it
+// loses nothing it ACKed (at most it tears the single sector under the
+// head, which is never acknowledged); the SSD loses acknowledged writes
+// from its volatile cache and mapping table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/hdd"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+)
+
+const (
+	faults        = 20
+	writesPerCyle = 10
+)
+
+type result struct {
+	acked, lost, ioErrors int
+}
+
+func main() {
+	ssdRes := run("ssd")
+	hddRes := run("hdd")
+	fmt.Println("Identical fault schedules, 4-64 KiB random writes:")
+	fmt.Printf("%-22s %-8s %-18s %-10s\n", "drive", "acked", "acked-then-lost", "io errors")
+	fmt.Printf("%-22s %-8d %-18d %-10d\n", "SSD A (write cache)", ssdRes.acked, ssdRes.lost, ssdRes.ioErrors)
+	fmt.Printf("%-22s %-8d %-18d %-10d\n", "HDD (write-through)", hddRes.acked, hddRes.lost, hddRes.ioErrors)
+	fmt.Println("\nThe write-through disk never loses acknowledged data; the SSD does —")
+	fmt.Println("the paper's core reliability concern with flash under power faults.")
+	if hddRes.lost != 0 {
+		log.Fatal("BUG: the write-through HDD lost acknowledged data")
+	}
+}
+
+func run(kind string) result {
+	k := sim.New()
+	rng := sim.NewRNG(11)
+	psu, err := power.New(k, power.DefaultConfig())
+	must(err)
+
+	var dev blockdev.Device
+	switch kind {
+	case "hdd":
+		d, err := hdd.New(k, rng.Fork("hdd"), hdd.DefaultProfile(), psu)
+		must(err)
+		dev = d
+	default:
+		prof := ssd.ProfileA()
+		prof.CapacityGB = 8
+		d, err := ssd.New(k, rng.Fork("ssd"), prof, psu)
+		must(err)
+		dev = d
+	}
+	host, err := blockdev.New(k, dev, nil, blockdev.DefaultConfig())
+	must(err)
+
+	type packet struct {
+		lpn   addr.LPN
+		data  content.Data
+		acked bool
+	}
+	var res result
+	wrng := rng.Fork("workload")
+	for cycle := 0; cycle < faults; cycle++ {
+		var packets []*packet
+		for i := 0; i < writesPerCyle; i++ {
+			pages := 1 + wrng.Intn(16)
+			p := &packet{lpn: addr.LPN(wrng.Intn(1 << 18)), data: content.Random(wrng, pages)}
+			packets = append(packets, p)
+			done := false
+			host.Submit(&blockdev.Request{Op: blockdev.OpWrite, LPN: p.lpn, Pages: pages, Data: p.data,
+				Done: func(r *blockdev.Request) {
+					if r.Err == nil {
+						p.acked = true
+						res.acked++
+					} else {
+						res.ioErrors++
+					}
+					done = true
+				}})
+			k.RunWhile(func() bool { return !done })
+		}
+		// Fault right after the last ACK, then restore.
+		psu.PowerOff()
+		k.RunFor(2 * sim.Second)
+		psu.PowerOn()
+		k.RunFor(4 * sim.Second)
+		// Verify every acknowledged packet.
+		for _, p := range packets {
+			if !p.acked {
+				continue
+			}
+			var got content.Data
+			done := false
+			host.Submit(&blockdev.Request{Op: blockdev.OpRead, LPN: p.lpn, Pages: p.data.Pages(),
+				Done: func(r *blockdev.Request) {
+					got = r.Result
+					done = true
+				}})
+			k.RunWhile(func() bool { return !done })
+			if !got.Equal(p.data) {
+				res.lost++
+			}
+		}
+	}
+	return res
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+// Plpcompare contrasts three builds of the same drive under identical
+// fault schedules: stock (volatile write cache), cache disabled, and with
+// a supercapacitor (power-loss protection). It demonstrates the paper's
+// findings that the cache is a major but not the only source of loss, and
+// that PLP hardware eliminates the failure classes entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerfail"
+)
+
+func main() {
+	type variant struct {
+		name string
+		prof powerfail.SSDProfile
+	}
+	base := powerfail.ProfileA()
+	variants := []variant{
+		{"stock (write cache on)", base},
+		{"internal cache disabled", base.WithCacheDisabled()},
+		{"supercap (PLP)", base.WithSuperCap()},
+	}
+
+	fmt.Println("Drive build vs data loss: 40 faults each, identical workload")
+	fmt.Printf("%-26s %-14s %-6s %-10s %-12s\n", "variant", "data failures", "FWA", "IO errors", "loss/fault")
+	for _, v := range variants {
+		rep, err := powerfail.Run(
+			powerfail.Options{Seed: 2024, Profile: v.prof},
+			powerfail.Experiment{
+				Name:             v.name,
+				Workload:         powerfail.DefaultWorkload(),
+				Faults:           40,
+				RequestsPerFault: 16,
+			},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %-14d %-6d %-10d %-12.2f\n",
+			v.name, rep.DataFailures(), rep.FWA(), rep.IOErrors(), rep.DataLossPerFault)
+	}
+	fmt.Println("\nDisabling the cache reduces but does not eliminate losses (mapping-table")
+	fmt.Println("and in-flight program corruption persist); the supercap build loses nothing.")
+}

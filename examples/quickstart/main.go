@@ -1,0 +1,34 @@
+// Quickstart: inject 25 power faults into the simulated SSD "A" while a
+// random-write workload runs, and print the failure report — the minimal
+// use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerfail"
+)
+
+func main() {
+	report, err := powerfail.Run(
+		powerfail.Options{
+			Seed:    42,
+			Profile: powerfail.ProfileA(),
+		},
+		powerfail.Experiment{
+			Name:             "quickstart",
+			Workload:         powerfail.DefaultWorkload(),
+			Faults:           25,
+			RequestsPerFault: 16,
+		},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+	fmt.Printf("\nThe drive acknowledged %d writes and still lost %d of them\n",
+		report.Writes, report.DataLosses())
+	fmt.Printf("(%d outright data failures, %d false write-acknowledges).\n",
+		report.DataFailures(), report.FWA())
+}

@@ -1,0 +1,414 @@
+package powerfail
+
+import (
+	"fmt"
+
+	"powerfail/internal/core"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+	"powerfail/internal/workload"
+)
+
+// CatalogItem is one runnable point of a paper experiment: the platform
+// options, the experiment spec, and the x-axis value it contributes to its
+// figure.
+type CatalogItem struct {
+	// Figure identifies the paper artifact ("fig5", "fig7", "window", ...).
+	Figure string
+	// Label names the point ("read%=20", "size=64KB").
+	Label string
+	// X is the figure's x-axis value for this point.
+	X    float64
+	Opts Options
+	Spec Experiment
+}
+
+// CatalogResult pairs an item with its report.
+type CatalogResult struct {
+	Item   CatalogItem
+	Report *Report
+	Err    error
+}
+
+// RunCatalog executes items sequentially, invoking progress (if non-nil)
+// after each. Experiments are independent: each gets a fresh platform.
+func RunCatalog(items []CatalogItem, progress func(CatalogResult)) []CatalogResult {
+	out := make([]CatalogResult, 0, len(items))
+	for _, it := range items {
+		rep, err := Run(it.Opts, it.Spec)
+		res := CatalogResult{Item: it, Report: rep, Err: err}
+		out = append(out, res)
+		if progress != nil {
+			progress(res)
+		}
+	}
+	return out
+}
+
+func scaled(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 5 {
+		v = 5
+	}
+	return v
+}
+
+func baseOpts(seed uint64) Options {
+	return Options{Seed: seed, Profile: ssd.ProfileA()}
+}
+
+func baseWrites(wssGB int) Workload {
+	return Workload{
+		Name:     "rand-write-4k-1m",
+		WSSBytes: int64(wssGB) << 30,
+		MinSize:  4 << 10,
+		MaxSize:  1 << 20,
+		ReadPct:  0,
+		Pattern:  workload.Random,
+	}
+}
+
+// Fig5Items reproduces Fig. 5: impact of request type. Read percentage
+// sweeps {0,20,50,80,100} over random 4K-1M requests; >=300 faults per
+// point at scale 1.
+func Fig5Items(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for i, readPct := range []int{0, 20, 50, 80, 100} {
+		w := baseWrites(16)
+		w.Name = fmt.Sprintf("read%d", readPct)
+		w.ReadPct = readPct
+		items = append(items, CatalogItem{
+			Figure: "fig5",
+			Label:  fmt.Sprintf("read%%=%d", readPct),
+			X:      float64(readPct),
+			Opts:   baseOpts(500 + uint64(i)),
+			Spec: Experiment{
+				Name:             "fig5-" + w.Name,
+				Workload:         w,
+				Faults:           scaled(300, scale),
+				RequestsPerFault: 16,
+			},
+		})
+	}
+	return items
+}
+
+// Fig6Items reproduces Fig. 6: impact of working set size, WSS from 1 GB
+// to 90 GB; >=200 faults per point at scale 1.
+func Fig6Items(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for i, wss := range []int{1, 10, 20, 30, 40, 50, 60, 70, 80, 90} {
+		w := baseWrites(wss)
+		w.Name = fmt.Sprintf("wss%dg", wss)
+		items = append(items, CatalogItem{
+			Figure: "fig6",
+			Label:  fmt.Sprintf("wss=%dGB", wss),
+			X:      float64(wss),
+			Opts:   baseOpts(600 + uint64(i)),
+			Spec: Experiment{
+				Name:             "fig6-" + w.Name,
+				Workload:         w,
+				Faults:           scaled(200, scale),
+				RequestsPerFault: 8,
+			},
+		})
+	}
+	return items
+}
+
+// SeqRandItems reproduces Section IV-D: fully random versus fully
+// sequential writes over a 64 GB working set.
+func SeqRandItems(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for i, pat := range []workload.Pattern{workload.Random, workload.Sequential} {
+		w := baseWrites(64)
+		w.Pattern = pat
+		w.Name = pat.String()
+		items = append(items, CatalogItem{
+			Figure: "seqrand",
+			Label:  pat.String(),
+			X:      float64(i),
+			Opts:   baseOpts(700 + uint64(i)),
+			Spec: Experiment{
+				Name:             "ivd-" + w.Name,
+				Workload:         w,
+				Faults:           scaled(300, scale),
+				RequestsPerFault: 40,
+			},
+		})
+	}
+	return items
+}
+
+// Fig7Items reproduces Fig. 7: impact of request size, fixed sizes 4 KB to
+// 1 MB; >=800 faults per point at scale 1.
+func Fig7Items(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for i, kb := range []int{4, 16, 64, 256, 1024} {
+		w := baseWrites(16)
+		w.Name = fmt.Sprintf("size%dk", kb)
+		w.MinSize, w.MaxSize = 0, 0
+		w.FixedSize = kb << 10
+		items = append(items, CatalogItem{
+			Figure: "fig7",
+			Label:  fmt.Sprintf("size=%dKB", kb),
+			X:      float64(kb),
+			Opts:   baseOpts(800 + uint64(i)),
+			Spec: Experiment{
+				Name:             "fig7-" + w.Name,
+				Workload:         w,
+				Faults:           scaled(800, scale),
+				RequestsPerFault: 16,
+			},
+		})
+	}
+	return items
+}
+
+// Fig8Items reproduces Fig. 8: requested versus responded IOPS and the
+// failure count, with open-loop arrivals; >=600 faults per point at
+// scale 1. The host queue is capped so outage-time backlogs stay bounded.
+//
+// Substitution note (see EXPERIMENTS.md): the paper states 4 KiB-1 MiB
+// request sizes yet reports responded IOPS saturating at ~6900, which is
+// >3.5 GB/s — beyond SATA. We use a 4-64 KiB mix so the responded-IOPS
+// saturation knee lands in the paper's range while preserving the
+// rise-then-plateau shape of both series.
+func Fig8Items(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for i, iops := range []float64{1200, 2400, 6000, 12000, 20000, 25000, 30000} {
+		w := baseWrites(16)
+		w.Name = fmt.Sprintf("iops%d", int(iops))
+		w.MinSize = 4 << 10
+		w.MaxSize = 64 << 10
+		w.IOPS = iops
+		opts := baseOpts(900 + uint64(i))
+		opts.Host.MaxSegPages = 128
+		opts.Host.Depth = 32
+		opts.Host.PendingCap = 256
+		opts.Host.Timeout = 30 * sim.Second
+		items = append(items, CatalogItem{
+			Figure: "fig8",
+			Label:  fmt.Sprintf("iops=%d", int(iops)),
+			X:      iops,
+			Opts:   opts,
+			Spec: Experiment{
+				Name:             "fig8-" + w.Name,
+				Workload:         w,
+				Faults:           scaled(600, scale),
+				RequestsPerFault: 20,
+			},
+		})
+	}
+	return items
+}
+
+// Fig9Items reproduces Fig. 9: access sequences RAW, WAR, RAR, WAW, where
+// each second request targets the previous request's address.
+func Fig9Items(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for i, mode := range []workload.SeqMode{workload.RAW, workload.WAR, workload.RAR, workload.WAW} {
+		w := baseWrites(16)
+		w.Name = mode.String()
+		w.Sequence = mode
+		items = append(items, CatalogItem{
+			Figure: "fig9",
+			Label:  mode.String(),
+			X:      float64(i),
+			Opts:   baseOpts(950 + uint64(i)),
+			Spec: Experiment{
+				Name:             "fig9-" + w.Name,
+				Workload:         w,
+				Faults:           scaled(300, scale),
+				RequestsPerFault: 16,
+			},
+		})
+	}
+	return items
+}
+
+// WindowItems reproduces Section IV-A: the workload pauses after a chosen
+// request's ACK and the fault lands a configurable delay later, sweeping
+// the delay from 0 to 1000 ms; the paper reports data loss for faults up
+// to ~700 ms after completion. Items for both cache-enabled and
+// cache-disabled drives are produced.
+func WindowItems(scale float64) []CatalogItem {
+	var items []CatalogItem
+	delays := []float64{0, 50, 100, 200, 300, 400, 500, 600, 700, 800, 1000}
+	for ci, cacheOff := range []bool{false, true} {
+		prof := ssd.ProfileA()
+		tag := "cache"
+		if cacheOff {
+			prof = prof.WithCacheDisabled()
+			tag = "nocache"
+		}
+		for i, ms := range delays {
+			opts := baseOpts(1000 + uint64(ci*100+i))
+			opts.Profile = prof
+			items = append(items, CatalogItem{
+				Figure: "window",
+				Label:  fmt.Sprintf("delay=%dms/%s", int(ms), tag),
+				X:      ms,
+				Opts:   opts,
+				Spec: Experiment{
+					Name:             fmt.Sprintf("iva-delay%d-%s", int(ms), tag),
+					Workload:         baseWrites(16),
+					Faults:           scaled(60, scale),
+					RequestsPerFault: 30,
+					WindowMode:       true,
+					PostACKDelay:     sim.Millis(ms),
+				},
+			})
+		}
+	}
+	return items
+}
+
+// TableIItems runs the base workload against every Table I drive model.
+func TableIItems(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for i, prof := range ssd.Profiles() {
+		opts := baseOpts(1100 + uint64(i))
+		opts.Profile = prof
+		items = append(items, CatalogItem{
+			Figure: "tablei",
+			Label:  "ssd-" + prof.Name,
+			X:      float64(i),
+			Opts:   opts,
+			Spec: Experiment{
+				Name:             "tablei-" + prof.Name,
+				Workload:         baseWrites(16),
+				Faults:           scaled(150, scale),
+				RequestsPerFault: 16,
+			},
+		})
+	}
+	return items
+}
+
+// AblationItems exercises the design knobs DESIGN.md calls out: PSU
+// discharge versus transistor-fast cut, supercapacitor protection, cache
+// disabled, and the journal commit interval.
+func AblationItems(scale float64) []CatalogItem {
+	var items []CatalogItem
+	add := func(label string, opts Options, spec Experiment) {
+		items = append(items, CatalogItem{
+			Figure: "ablation", Label: label, X: float64(len(items)),
+			Opts: opts, Spec: spec,
+		})
+	}
+	base := func(name string) Experiment {
+		return Experiment{
+			Name:             name,
+			Workload:         baseWrites(16),
+			Faults:           scaled(150, scale),
+			RequestsPerFault: 16,
+		}
+	}
+
+	// ABL-1: realistic PSU discharge vs high-speed transistor cut.
+	slow := baseOpts(1200)
+	add("cut=psu-discharge", slow, base("abl-cut-psu"))
+	fast := baseOpts(1201)
+	fast.PSU = power.Config{VNominal: 5, Capacitance: 2e-6, BleedOhms: 27.7, RiseTime: sim.Millis(1)}
+	add("cut=transistor", fast, base("abl-cut-transistor"))
+
+	// ABL-2: supercapacitor power-loss protection.
+	plp := baseOpts(1202)
+	plp.Profile = ssd.ProfileA().WithSuperCap()
+	add("supercap=on", plp, base("abl-supercap"))
+
+	// ABL-4: internal cache disabled.
+	nocache := baseOpts(1203)
+	nocache.Profile = ssd.ProfileA().WithCacheDisabled()
+	add("cache=disabled", nocache, base("abl-nocache"))
+
+	// ABL-3: journal commit interval sweep.
+	for i, ms := range []float64{5, 10, 50, 200} {
+		o := baseOpts(1210 + uint64(i))
+		p := ssd.ProfileA()
+		p.JournalTick = sim.Millis(ms)
+		o.Profile = p
+		add(fmt.Sprintf("journal=%dms", int(ms)), o, base(fmt.Sprintf("abl-journal%d", int(ms))))
+	}
+	return items
+}
+
+// AllItems returns the full catalog at the given scale.
+func AllItems(scale float64) []CatalogItem {
+	var items []CatalogItem
+	items = append(items, TableIItems(scale)...)
+	items = append(items, WindowItems(scale)...)
+	items = append(items, Fig5Items(scale)...)
+	items = append(items, Fig6Items(scale)...)
+	items = append(items, SeqRandItems(scale)...)
+	items = append(items, Fig7Items(scale)...)
+	items = append(items, Fig8Items(scale)...)
+	items = append(items, Fig9Items(scale)...)
+	items = append(items, AblationItems(scale)...)
+	return items
+}
+
+// ItemsFor returns the catalog slice for a figure id ("fig5".."fig9",
+// "fig4", "window", "seqrand", "tablei", "ablation", "all").
+func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
+	switch figure {
+	case "fig5":
+		return Fig5Items(scale), nil
+	case "fig6":
+		return Fig6Items(scale), nil
+	case "fig7":
+		return Fig7Items(scale), nil
+	case "fig8":
+		return Fig8Items(scale), nil
+	case "fig9":
+		return Fig9Items(scale), nil
+	case "window":
+		return WindowItems(scale), nil
+	case "seqrand":
+		return SeqRandItems(scale), nil
+	case "tablei":
+		return TableIItems(scale), nil
+	case "ablation":
+		return AblationItems(scale), nil
+	case "all":
+		return AllItems(scale), nil
+	default:
+		return nil, fmt.Errorf("powerfail: unknown figure %q", figure)
+	}
+}
+
+// VoltagePoint samples the PSU discharge curve.
+type VoltagePoint struct {
+	T sim.Duration // time since the cut
+	V float64
+}
+
+// DischargeCurve reproduces Fig. 4: the 5 V rail's voltage after a cut,
+// with or without one SSD attached, sampled every step until horizon.
+// It also returns the instant the rail crossed 4.5 V (the SSD brownout).
+func DischargeCurve(withSSD bool, step, horizon sim.Duration) (curve []VoltagePoint, brownoutAt sim.Duration) {
+	k := sim.New()
+	psu, err := power.New(k, power.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	if withSSD {
+		psu.Connect("ssd", ssd.ProfileA().LoadOhms)
+	}
+	psu.PowerOff()
+	cut := k.Now()
+	brownoutAt = -1
+	for t := sim.Duration(0); t <= horizon; t += step {
+		v := psu.VoltageAt(cut.Add(t))
+		curve = append(curve, VoltagePoint{T: t, V: v})
+		if brownoutAt < 0 && v < 4.5 {
+			brownoutAt = t
+		}
+	}
+	return curve, brownoutAt
+}
+
+// Ensure the catalog compiles against the core types.
+var _ = core.ExperimentSpec{}

@@ -1,0 +1,54 @@
+// Package addr defines the page-granular addressing units shared by the
+// whole storage stack: logical page numbers (LPN) as seen by the host block
+// layer, and physical page numbers (PPN) inside the NAND flash array. Pages
+// are 4 KiB, the paper's smallest request size and the mapping granularity
+// of the simulated FTL.
+package addr
+
+import "fmt"
+
+const (
+	// PageShift is log2 of the page size.
+	PageShift = 12
+	// PageBytes is the size of one logical/physical page.
+	PageBytes = 1 << PageShift
+)
+
+// LPN is a logical page number: the host-visible address space divided into
+// 4 KiB pages.
+type LPN int64
+
+// PPN is a physical page number inside the flash array.
+type PPN int64
+
+// InvalidPPN marks an unmapped logical page.
+const InvalidPPN PPN = -1
+
+// ByteOffset returns the byte offset of the first byte of the page.
+func (l LPN) ByteOffset() int64 { return int64(l) << PageShift }
+
+// String implements fmt.Stringer.
+func (l LPN) String() string { return fmt.Sprintf("lpn:%d", int64(l)) }
+
+// String implements fmt.Stringer.
+func (p PPN) String() string { return fmt.Sprintf("ppn:%d", int64(p)) }
+
+// PagesFor returns the number of pages needed to hold n bytes (ceiling).
+func PagesFor(n int64) int {
+	if n <= 0 {
+		return 0
+	}
+	return int((n + PageBytes - 1) >> PageShift)
+}
+
+// LPNOf returns the logical page containing byte offset off (floor).
+func LPNOf(off int64) LPN { return LPN(off >> PageShift) }
+
+// Aligned reports whether off is page-aligned.
+func Aligned(off int64) bool { return off&(PageBytes-1) == 0 }
+
+// AlignDown rounds off down to a page boundary.
+func AlignDown(off int64) int64 { return off &^ (PageBytes - 1) }
+
+// AlignUp rounds off up to a page boundary.
+func AlignUp(off int64) int64 { return (off + PageBytes - 1) &^ (PageBytes - 1) }

@@ -1,0 +1,64 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct {
+		bytes int64
+		want  int
+	}{
+		{0, 0}, {-5, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2},
+		{1 << 20, 256}, {1<<20 + 1, 257},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.bytes); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestByteOffsetRoundTrip(t *testing.T) {
+	for _, l := range []LPN{0, 1, 7, 1 << 20, 1 << 40} {
+		if LPNOf(l.ByteOffset()) != l {
+			t.Errorf("round trip failed for %v", l)
+		}
+	}
+}
+
+func TestAlignment(t *testing.T) {
+	if !Aligned(0) || !Aligned(4096) || Aligned(1) || Aligned(4095) {
+		t.Fatal("Aligned wrong")
+	}
+	if AlignDown(4097) != 4096 || AlignDown(4096) != 4096 {
+		t.Fatal("AlignDown wrong")
+	}
+	if AlignUp(4097) != 8192 || AlignUp(4096) != 4096 {
+		t.Fatal("AlignUp wrong")
+	}
+}
+
+func TestQuickAlignInvariants(t *testing.T) {
+	f := func(raw uint32) bool {
+		off := int64(raw)
+		d, u := AlignDown(off), AlignUp(off)
+		return d <= off && off <= u && Aligned(d) && Aligned(u) && u-d < PageBytes*2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LPN(5).String() != "lpn:5" || PPN(9).String() != "ppn:9" {
+		t.Fatal("stringers wrong")
+	}
+}
+
+func TestInvalidPPN(t *testing.T) {
+	if InvalidPPN >= 0 {
+		t.Fatal("InvalidPPN must be negative")
+	}
+}

@@ -1,0 +1,333 @@
+// Package blockdev models the host side of the IO path: the operating
+// system block layer between the paper's IO generator and the SSD. It
+// splits large requests into sub-requests at a segment limit, dispatches
+// them to the device under a bounded queue depth, records blktrace events
+// for every state transition, aggregates sub-request completions, and
+// enforces the 30 second request timeout the paper's analyzer uses to
+// declare delayed requests incomplete.
+package blockdev
+
+import (
+	"errors"
+	"fmt"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/blktrace"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+)
+
+// Op is the request direction.
+type Op int
+
+// Request operations.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpFlush
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+func (o Op) traceKind() blktrace.OpKind {
+	switch o {
+	case OpRead:
+		return blktrace.OpRead
+	case OpWrite:
+		return blktrace.OpWrite
+	default:
+		return blktrace.OpFlush
+	}
+}
+
+// Errors surfaced to request completion callbacks.
+var (
+	ErrQueueFull  = errors.New("blockdev: host queue full, request not issued")
+	ErrTimeout    = errors.New("blockdev: request timed out")
+	ErrDeviceGone = errors.New("blockdev: device unavailable")
+)
+
+// Request is one host IO. Fill Op, LPN, Pages and (for writes) Data, then
+// Submit it; Done fires exactly once with the final state.
+type Request struct {
+	ID    uint64
+	Op    Op
+	LPN   addr.LPN
+	Pages int
+	// Data is the write payload.
+	Data content.Data
+	// Result is the read payload, assembled from sub-request completions.
+	Result content.Data
+	// Control marks platform verification traffic that experiments must
+	// not count as workload.
+	Control bool
+
+	Queued    sim.Time
+	Completed sim.Time
+	Err       error
+	// NotIssued is set when the host queue rejected the request, the
+	// "Not Issued?" flag of the paper's data packet header.
+	NotIssued bool
+
+	Done func(*Request)
+
+	subs      []*subRequest
+	remaining int
+	timeout   *sim.Timer
+	finished  bool
+}
+
+type subRequest struct {
+	idx    int
+	lpn    addr.LPN
+	pages  int
+	off    int // page offset within the parent
+	done   bool
+	result content.Data
+}
+
+// Device is the disk interface the block layer drives. Submit must invoke
+// done exactly once at the simulated completion instant, with the read
+// payload for reads. Devices are free to fail fast (unavailable) or never
+// answer (dead mid-operation); the block layer's timeout covers the rest.
+type Device interface {
+	Submit(op Op, lpn addr.LPN, pages int, data content.Data, done func(err error, result content.Data))
+}
+
+// Config tunes the block layer.
+type Config struct {
+	// MaxSegPages splits requests larger than this many pages.
+	MaxSegPages int
+	// Depth bounds sub-requests in flight at the device (NCQ depth).
+	Depth int
+	// PendingCap bounds requests waiting for dispatch; beyond it requests
+	// are rejected as not-issued.
+	PendingCap int
+	// Timeout abandons requests that have not completed.
+	Timeout sim.Duration
+}
+
+// DefaultConfig mirrors a stock Linux SATA setup: 512 KiB segments, NCQ 32,
+// 30 s timeout.
+func DefaultConfig() Config {
+	return Config{MaxSegPages: 128, Depth: 32, PendingCap: 4096, Timeout: 30 * sim.Second}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.MaxSegPages <= 0 || c.Depth <= 0 || c.PendingCap <= 0 || c.Timeout <= 0 {
+		return fmt.Errorf("blockdev: all config values must be positive: %+v", c)
+	}
+	return nil
+}
+
+// Stats counts block-layer activity.
+type Stats struct {
+	Submitted int64
+	Rejected  int64
+	Completed int64
+	Errored   int64
+	TimedOut  int64
+	Splits    int64
+}
+
+// Queue is the host block layer instance.
+type Queue struct {
+	k      *sim.Kernel
+	dev    Device
+	tracer *blktrace.Tracer
+	cfg    Config
+
+	nextID   uint64
+	pending  []*subRequest // dispatch FIFO
+	byIdx    map[*subRequest]*Request
+	inflight int
+	stats    Stats
+}
+
+// New builds a block layer over dev, recording events into tracer (which
+// may be nil to disable tracing).
+func New(k *sim.Kernel, dev Device, tracer *blktrace.Tracer, cfg Config) (*Queue, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dev == nil {
+		return nil, errors.New("blockdev: nil device")
+	}
+	return &Queue{k: k, dev: dev, tracer: tracer, cfg: cfg, byIdx: make(map[*subRequest]*Request)}, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (q *Queue) Stats() Stats { return q.stats }
+
+// Inflight returns sub-requests currently at the device.
+func (q *Queue) Inflight() int { return q.inflight }
+
+// PendingSubs returns sub-requests waiting for dispatch.
+func (q *Queue) PendingSubs() int { return len(q.pending) }
+
+func (q *Queue) trace(e blktrace.Event) {
+	if q.tracer != nil {
+		q.tracer.Record(e)
+	}
+}
+
+// Submit queues a request. The request's Done callback fires exactly once;
+// rejected requests complete immediately with ErrQueueFull and NotIssued
+// set.
+func (q *Queue) Submit(r *Request) {
+	if r.Op != OpFlush && r.Pages <= 0 {
+		panic("blockdev: request with no pages")
+	}
+	if r.Op == OpWrite && r.Data.Pages() != r.Pages {
+		panic("blockdev: write payload size mismatch")
+	}
+	q.nextID++
+	r.ID = q.nextID
+	r.Queued = q.k.Now()
+	q.stats.Submitted++
+	kind := r.Op.traceKind()
+	if len(q.pending) >= q.cfg.PendingCap {
+		r.NotIssued = true
+		r.Err = ErrQueueFull
+		q.stats.Rejected++
+		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActReject, Op: kind, Req: r.ID, Sub: -1, LPN: r.LPN, Pages: r.Pages})
+		q.finish(r)
+		return
+	}
+	q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActQueue, Op: kind, Req: r.ID, Sub: -1, LPN: r.LPN, Pages: r.Pages})
+	q.split(r)
+	for _, s := range r.subs {
+		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActSplit, Op: kind, Req: r.ID, Sub: s.idx, LPN: s.lpn, Pages: s.pages})
+		q.pending = append(q.pending, s)
+		q.byIdx[s] = r
+	}
+	r.remaining = len(r.subs)
+	r.timeout = q.k.After(q.cfg.Timeout, func() { q.onTimeout(r) })
+	q.pump()
+}
+
+func (q *Queue) split(r *Request) {
+	if r.Op == OpFlush {
+		r.subs = []*subRequest{{idx: 0, lpn: r.LPN, pages: 0}}
+		return
+	}
+	seg := q.cfg.MaxSegPages
+	for off := 0; off < r.Pages; off += seg {
+		n := r.Pages - off
+		if n > seg {
+			n = seg
+		}
+		r.subs = append(r.subs, &subRequest{idx: len(r.subs), lpn: r.LPN + addr.LPN(off), pages: n, off: off})
+	}
+	if len(r.subs) > 1 {
+		q.stats.Splits += int64(len(r.subs) - 1)
+	}
+}
+
+func (q *Queue) pump() {
+	for q.inflight < q.cfg.Depth && len(q.pending) > 0 {
+		s := q.pending[0]
+		q.pending = q.pending[1:]
+		r, ok := q.byIdx[s]
+		if !ok || r.finished {
+			continue
+		}
+		q.inflight++
+		kind := r.Op.traceKind()
+		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActDispatch, Op: kind, Req: r.ID, Sub: s.idx, LPN: s.lpn, Pages: s.pages})
+		var payload content.Data
+		if r.Op == OpWrite {
+			payload = r.Data.Slice(s.off, s.pages)
+		}
+		sub := s
+		q.dev.Submit(r.Op, s.lpn, s.pages, payload, func(err error, result content.Data) {
+			q.onSubDone(r, sub, err, result)
+		})
+	}
+}
+
+func (q *Queue) onSubDone(r *Request, s *subRequest, err error, result content.Data) {
+	q.inflight--
+	defer q.pump()
+	if r.finished || s.done {
+		return // stale completion after timeout
+	}
+	s.done = true
+	delete(q.byIdx, s)
+	kind := r.Op.traceKind()
+	if err != nil {
+		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActError, Op: kind, Req: r.ID, Sub: s.idx, LPN: s.lpn, Pages: s.pages})
+		if r.Err == nil {
+			r.Err = err
+		}
+	} else {
+		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActComplete, Op: kind, Req: r.ID, Sub: s.idx, LPN: s.lpn, Pages: s.pages})
+		s.result = result
+	}
+	r.remaining--
+	if r.remaining > 0 {
+		return
+	}
+	if r.timeout != nil {
+		r.timeout.Stop()
+	}
+	if r.Op == OpRead && r.Err == nil {
+		r.Result = content.Gather(r.Pages, func(i int) content.Fingerprint {
+			for _, sub := range r.subs {
+				if i >= sub.off && i < sub.off+sub.pages {
+					return sub.result.Page(i - sub.off)
+				}
+			}
+			return content.Zero
+		})
+	}
+	if r.Err != nil {
+		q.stats.Errored++
+	} else {
+		q.stats.Completed++
+	}
+	q.finish(r)
+}
+
+func (q *Queue) onTimeout(r *Request) {
+	if r.finished {
+		return
+	}
+	q.stats.TimedOut++
+	r.Err = ErrTimeout
+	q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActTimeout, Op: r.Op.traceKind(), Req: r.ID, Sub: -1, LPN: r.LPN, Pages: r.Pages})
+	// Abandon outstanding subs: drop pending ones and ignore late
+	// completions (onSubDone checks finished).
+	for _, s := range r.subs {
+		if !s.done {
+			delete(q.byIdx, s)
+		}
+	}
+	q.finish(r)
+}
+
+func (q *Queue) finish(r *Request) {
+	if r.finished {
+		return
+	}
+	r.finished = true
+	r.Completed = q.k.Now()
+	if r.Done != nil {
+		// Completion callbacks run as their own event so that device
+		// callback stacks unwind first.
+		q.k.After(0, func() { r.Done(r) })
+	}
+}

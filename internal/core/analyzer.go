@@ -1,0 +1,241 @@
+package core
+
+import (
+	"powerfail/internal/addr"
+	"powerfail/internal/blktrace"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+	"powerfail/internal/workload"
+)
+
+// Analyzer is the failure-detection component. It shadows the expected
+// content of every written page, captures each packet's initial checksum
+// at issue time, merges the btt per-IO completion state, and classifies
+// packets after each fault by reading the drive back.
+type Analyzer struct {
+	k *sim.Kernel
+
+	shadow  map[addr.LPN]content.Fingerprint
+	byReq   map[uint64]*Packet
+	pending []*Packet // completed or errored, awaiting verification
+	recent  []*Packet // verified clean, rechecked while young
+
+	recheckWindow sim.Duration
+	counts        Counters
+	perFault      []FaultOutcome
+}
+
+// FaultOutcome is the per-fault-cycle failure breakdown.
+type FaultOutcome struct {
+	FaultAt      sim.Time
+	DataFailures int
+	FWA          int
+	IOErrors     int
+}
+
+// NewAnalyzer builds an analyzer. recheckWindow bounds how long a
+// verified packet remains subject to re-verification (captures corruption
+// of previously written data by later faults).
+func NewAnalyzer(k *sim.Kernel, recheckWindow sim.Duration) *Analyzer {
+	if recheckWindow <= 0 {
+		recheckWindow = 2 * sim.Second
+	}
+	return &Analyzer{
+		k:             k,
+		shadow:        make(map[addr.LPN]content.Fingerprint),
+		byReq:         make(map[uint64]*Packet),
+		recheckWindow: recheckWindow,
+	}
+}
+
+// Counters returns the current totals.
+func (a *Analyzer) Counters() Counters { return a.counts }
+
+// PerFault returns the per-cycle breakdown.
+func (a *Analyzer) PerFault() []FaultOutcome { return a.perFault }
+
+// BeginFault opens a new fault-cycle record and returns its index.
+func (a *Analyzer) BeginFault(at sim.Time) int {
+	a.perFault = append(a.perFault, FaultOutcome{FaultAt: at})
+	return len(a.perFault) - 1
+}
+
+// OnIssue registers a submitted workload request. For writes it captures
+// the initial (pre-request) checksums and advances the shadow expectation,
+// so overlapping writes chain correctly (WAW sequences).
+func (a *Analyzer) OnIssue(req *blockdev.Request, op workload.Op) *Packet {
+	pkt := &Packet{
+		ReqID:     req.ID,
+		Op:        op,
+		LPN:       req.LPN,
+		Pages:     req.Pages,
+		QueueTime: req.Queued,
+	}
+	a.counts.Issued++
+	if op == workload.OpWrite {
+		a.counts.Writes++
+		pkt.Want = req.Data
+		pkt.Prev = make([]content.Fingerprint, req.Pages)
+		for i := 0; i < req.Pages; i++ {
+			lpn := req.LPN + addr.LPN(i)
+			pkt.Prev[i] = a.shadow[lpn]
+			a.shadow[lpn] = req.Data.Page(i)
+		}
+	} else {
+		a.counts.Reads++
+	}
+	a.byReq[req.ID] = pkt
+	return pkt
+}
+
+// OnComplete records the host-visible completion of a workload request.
+func (a *Analyzer) OnComplete(req *blockdev.Request) {
+	pkt, ok := a.byReq[req.ID]
+	if !ok {
+		return
+	}
+	pkt.CompleteTime = req.Completed
+	pkt.Err = req.Err
+	pkt.NotIssued = req.NotIssued
+	if req.Err == nil {
+		a.counts.Completed++
+	} else {
+		a.counts.Errored++
+	}
+	if req.NotIssued {
+		// Never reached the drive; tracked separately from IO errors.
+		a.counts.NotIssued++
+		pkt.Verified = true
+		return
+	}
+	a.pending = append(a.pending, pkt)
+}
+
+// AttachTrace merges the btt per-IO assembly into the packets: the
+// Completed flag the classification rules hinge on comes from the trace,
+// exactly as in the paper's modified btt flow.
+func (a *Analyzer) AttachTrace(ios []*blktrace.IO) {
+	for _, io := range ios {
+		if pkt, ok := a.byReq[io.Req]; ok {
+			pkt.Completed = io.Complete()
+		}
+	}
+}
+
+// VerifyCandidates returns the packets to verify after a fault: all
+// unverified packets plus recently verified ones (recheck catches paired-
+// page corruption of previously written data). The pending and recent
+// sets are rebuilt by the Classify calls that follow.
+func (a *Analyzer) VerifyCandidates(now sim.Time) []*Packet {
+	var out []*Packet
+	out = append(out, a.pending...)
+	a.pending = a.pending[:0]
+	for _, pkt := range a.recent {
+		if now.Sub(pkt.CompleteTime) <= a.recheckWindow && pkt.FailedAs == FailNone {
+			out = append(out, pkt)
+		}
+		// Older or already-failed packets age out of the recheck set.
+	}
+	a.recent = a.recent[:0]
+	return out
+}
+
+// Classify applies the Section III-B rules to one packet given the
+// content read back from the drive. faultIdx attributes the failure to a
+// fault cycle; pass obs with zero pages for read packets (no comparison).
+func (a *Analyzer) Classify(pkt *Packet, obs content.Data, faultIdx int) FailureKind {
+	outcome := a.classify(pkt, obs)
+	first := !pkt.Verified
+	pkt.Verified = true
+	switch outcome {
+	case FailIOError:
+		if pkt.FailedAs == FailNone {
+			pkt.FailedAs = FailIOError
+			pkt.FaultIdx = faultIdx
+			a.counts.IOErrors++
+			a.fault(faultIdx).IOErrors++
+		}
+	case FailFWA:
+		if pkt.FailedAs == FailNone {
+			pkt.FailedAs = FailFWA
+			pkt.FaultIdx = faultIdx
+			a.counts.FWA++
+			a.fault(faultIdx).FWA++
+			if !first {
+				a.counts.LateCorruptions++
+			}
+		}
+	case FailData:
+		if pkt.FailedAs == FailNone {
+			pkt.FailedAs = FailData
+			pkt.FaultIdx = faultIdx
+			a.counts.DataFailures++
+			a.fault(faultIdx).DataFailures++
+			if !first {
+				a.counts.LateCorruptions++
+			}
+		}
+	default:
+		if first {
+			a.counts.OKVerified++
+		}
+		a.recent = append(a.recent, pkt)
+	}
+	// Re-synchronise the shadow with observed reality so later initial
+	// checksums reflect what is actually on the media. Pages already
+	// re-expected by a later (still unverified) write are left alone.
+	if pkt.Op == workload.OpWrite && obs.Pages() == pkt.Pages && outcome != FailNone {
+		for i := 0; i < pkt.Pages; i++ {
+			lpn := pkt.LPN + addr.LPN(i)
+			if a.shadow[lpn] == pkt.Want.Page(i) {
+				a.shadow[lpn] = obs.Page(i)
+			}
+		}
+	}
+	return outcome
+}
+
+func (a *Analyzer) classify(pkt *Packet, obs content.Data) FailureKind {
+	if !pkt.Completed {
+		return FailIOError
+	}
+	if pkt.Op == workload.OpRead {
+		return FailNone
+	}
+	if obs.Pages() != pkt.Pages {
+		return FailData
+	}
+	if obs.Equal(pkt.Want) {
+		return FailNone
+	}
+	// The address may legitimately hold newer data: a later write (WAW
+	// sequences) supersedes this packet. If the observed content matches
+	// the newest expectation for every page, nothing was lost.
+	matchesNewest := true
+	for i := 0; i < pkt.Pages; i++ {
+		if obs.Page(i) != a.shadow[pkt.LPN+addr.LPN(i)] {
+			matchesNewest = false
+			break
+		}
+	}
+	if matchesNewest {
+		return FailNone
+	}
+	if obs.Equal(pkt.prevData()) {
+		return FailFWA
+	}
+	return FailData
+}
+
+func (a *Analyzer) fault(idx int) *FaultOutcome {
+	if idx < 0 || idx >= len(a.perFault) {
+		a.perFault = append(a.perFault, FaultOutcome{FaultAt: a.k.Now()})
+		return &a.perFault[len(a.perFault)-1]
+	}
+	return &a.perFault[idx]
+}
+
+// Forget drops bookkeeping for packets that can no longer be verified;
+// used to bound memory in very long runs.
+func (a *Analyzer) Forget(pkt *Packet) { delete(a.byReq, pkt.ReqID) }

@@ -1,0 +1,108 @@
+// Package core implements the software part of the paper's test platform:
+// the Scheduler that commands the hardware to inject power faults, the IO
+// Generator that issues data packets, and the Analyzer that decides — from
+// the blktrace-style per-IO assembly plus checksum comparison — whether
+// each request suffered a data failure, a false write-acknowledge (FWA),
+// or an IO error. A Runner sequences whole experiments: workload, fault
+// cycles (cut, discharge, restore, recovery), and verification passes.
+package core
+
+import (
+	"fmt"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+	"powerfail/internal/workload"
+)
+
+// FailureKind classifies a request after verification, following the
+// paper's Section III-B taxonomy.
+type FailureKind int
+
+// Failure kinds.
+const (
+	FailNone FailureKind = iota
+	// FailData: completed=1, notApplied=0, checksum mismatch — the drive
+	// acknowledged the write and the address holds neither the written
+	// nor the previous content.
+	FailData
+	// FailFWA: completed=1, notApplied=1 — the drive acknowledged the
+	// write but the address still holds the pre-request content.
+	FailFWA
+	// FailIOError: completed=0 — the request was issued while the drive
+	// was unavailable (or timed out).
+	FailIOError
+)
+
+// String implements fmt.Stringer.
+func (f FailureKind) String() string {
+	switch f {
+	case FailNone:
+		return "none"
+	case FailData:
+		return "data-failure"
+	case FailFWA:
+		return "fwa"
+	case FailIOError:
+		return "io-error"
+	default:
+		return fmt.Sprintf("FailureKind(%d)", int(f))
+	}
+}
+
+// Packet is the paper's data packet (Fig. 2): the payload plus a header
+// carrying size, destination address, queue/completion times, the three
+// checksums (initial = content before the request, data = written payload,
+// final = content read back after the fault), and the outcome flags.
+type Packet struct {
+	ReqID uint64
+	Op    workload.Op
+	LPN   addr.LPN
+	Pages int
+
+	// Want is the written payload (its Sum is the "data checksum").
+	Want content.Data
+	// Prev is the per-page content of the target address prior to issuing
+	// (the "initial checksum"), captured from the analyzer's shadow map.
+	Prev []content.Fingerprint
+
+	QueueTime    sim.Time
+	CompleteTime sim.Time
+
+	Err       error
+	NotIssued bool
+	// Completed mirrors the btt-derived flag: all block-layer
+	// sub-requests reached the complete state.
+	Completed bool
+
+	Verified bool
+	FailedAs FailureKind
+	// FaultIdx is the fault cycle during which the packet was classified.
+	FaultIdx int
+}
+
+// prevData assembles the initial content as a Data vector.
+func (p *Packet) prevData() content.Data {
+	return content.Gather(p.Pages, func(i int) content.Fingerprint { return p.Prev[i] })
+}
+
+// Counters aggregates the analyzer's findings.
+type Counters struct {
+	Issued    int
+	Reads     int
+	Writes    int
+	Completed int
+	Errored   int
+	NotIssued int
+
+	DataFailures    int
+	FWA             int
+	IOErrors        int
+	OKVerified      int
+	LateCorruptions int // verified-then-corrupted, caught on recheck
+}
+
+// DataLosses returns data failures plus FWAs: the paper's combined
+// "data failure / data loss" count.
+func (c Counters) DataLosses() int { return c.DataFailures + c.FWA }

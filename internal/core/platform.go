@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"powerfail/internal/blktrace"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+)
+
+// Options configures a Platform instance.
+type Options struct {
+	// Seed drives every random stream; identical (Seed, spec) pairs
+	// reproduce identical reports.
+	Seed uint64
+	// Profile is the drive under test; zero value selects SSD A.
+	Profile ssd.Profile
+	// Host overrides the block-layer configuration.
+	Host blockdev.Config
+	// PSU overrides the supply's electrical model.
+	PSU power.Config
+	// Concurrency is the closed-loop outstanding-request budget
+	// (default 1: a synchronous IO thread, as in the paper's generator).
+	Concurrency int
+	// ThinkTime separates a completion from the next closed-loop issue.
+	ThinkTime sim.Duration
+	// SettleAfterOff holds the rail at the floor before restoring power.
+	SettleAfterOff sim.Duration
+	// OffFloorVolts is the rail voltage treated as fully discharged.
+	OffFloorVolts float64
+	// RecheckWindow bounds re-verification of already verified packets.
+	RecheckWindow sim.Duration
+	// Trace disables blktrace recording when false is forced; tracing is
+	// on by default (required for completed/incomplete detection).
+	DisableTrace bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Profile.Name == "" {
+		o.Profile = ssd.ProfileA()
+	}
+	if o.Host == (blockdev.Config{}) {
+		o.Host = blockdev.DefaultConfig()
+	}
+	if o.PSU == (power.Config{}) {
+		o.PSU = power.DefaultConfig()
+	}
+	if o.Concurrency == 0 {
+		o.Concurrency = 1
+	}
+	if o.ThinkTime == 0 {
+		o.ThinkTime = 300 * sim.Microsecond
+	}
+	if o.SettleAfterOff == 0 {
+		o.SettleAfterOff = 150 * sim.Millisecond
+	}
+	if o.OffFloorVolts == 0 {
+		o.OffFloorVolts = 0.25
+	}
+	if o.RecheckWindow == 0 {
+		o.RecheckWindow = 2 * sim.Second
+	}
+	return o
+}
+
+// Platform wires the hardware part (PSU, ATX, Arduino) to the device under
+// test and the software part (scheduler, IO generator, analyzer) exactly
+// as in Fig. 1 of the paper.
+type Platform struct {
+	Opts Options
+
+	K       *sim.Kernel
+	RNG     *sim.RNG
+	PSU     *power.PSU
+	ATX     *power.ATX
+	Arduino *power.Arduino
+	Dev     *ssd.Device
+	Host    *blockdev.Queue
+	Tracer  *blktrace.Tracer
+	Sched   *FaultScheduler
+}
+
+// NewPlatform builds and wires a complete test platform.
+func NewPlatform(opts Options) (*Platform, error) {
+	opts = opts.withDefaults()
+	k := sim.New()
+	root := sim.NewRNG(opts.Seed)
+
+	psu, err := power.New(k, opts.PSU)
+	if err != nil {
+		return nil, fmt.Errorf("core: psu: %w", err)
+	}
+	atx := power.NewATX(psu)
+	ard := power.NewArduino(k, power.DefaultSerialLatency, atx.SetPin16)
+
+	dev, err := ssd.New(k, root.Fork("ssd"), opts.Profile, psu)
+	if err != nil {
+		return nil, fmt.Errorf("core: device: %w", err)
+	}
+
+	var tracer *blktrace.Tracer
+	if !opts.DisableTrace {
+		tracer = blktrace.NewTracer()
+	}
+	host, err := blockdev.New(k, dev, tracer, opts.Host)
+	if err != nil {
+		return nil, fmt.Errorf("core: host: %w", err)
+	}
+
+	return &Platform{
+		Opts:    opts,
+		K:       k,
+		RNG:     root,
+		PSU:     psu,
+		ATX:     atx,
+		Arduino: ard,
+		Dev:     dev,
+		Host:    host,
+		Tracer:  tracer,
+		Sched:   NewFaultScheduler(k, ard),
+	}, nil
+}
+
+// FaultScheduler is the paper's Scheduler component: it decides fault
+// instants and sends On/Off commands to the microcontroller.
+type FaultScheduler struct {
+	k   *sim.Kernel
+	ard *power.Arduino
+
+	cuts     int
+	restores int
+}
+
+// NewFaultScheduler wires a scheduler to the Arduino.
+func NewFaultScheduler(k *sim.Kernel, ard *power.Arduino) *FaultScheduler {
+	return &FaultScheduler{k: k, ard: ard}
+}
+
+// Cut commands the hardware to drop PS_ON#, starting the PSU discharge.
+func (s *FaultScheduler) Cut() {
+	s.cuts++
+	if err := s.ard.Send(power.CmdCut); err != nil {
+		panic(err)
+	}
+}
+
+// Restore commands the hardware to re-assert PS_ON#.
+func (s *FaultScheduler) Restore() {
+	s.restores++
+	if err := s.ard.Send(power.CmdRestore); err != nil {
+		panic(err)
+	}
+}
+
+// Cuts returns the number of Cut commands sent.
+func (s *FaultScheduler) Cuts() int { return s.cuts }

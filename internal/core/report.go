@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"powerfail/internal/blockdev"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+)
+
+// Report is the outcome of one experiment: the failure counts the paper's
+// figures plot, plus enough supporting detail to debug a run.
+type Report struct {
+	Name    string
+	Profile string
+	Spec    ExperimentSpec
+
+	SimDuration sim.Duration
+	// ActiveTime is powered-on workload time (excludes fault cycles);
+	// responded IOPS is measured against it.
+	ActiveTime sim.Duration
+
+	Requests  int
+	Reads     int
+	Writes    int
+	Completed int
+	Errored   int
+	NotIssued int
+
+	Faults   int
+	Counters Counters
+	PerFault []FaultOutcome
+
+	DataLossPerFault float64
+	RequestedIOPS    float64
+	RespondedIOPS    float64
+
+	DeviceStats ssd.Stats
+	HostStats   blockdev.Stats
+}
+
+// DataFailures returns the strict data-failure count (excludes FWA).
+func (r *Report) DataFailures() int { return r.Counters.DataFailures }
+
+// FWA returns the false-write-acknowledge count.
+func (r *Report) FWA() int { return r.Counters.FWA }
+
+// IOErrors returns the IO error count.
+func (r *Report) IOErrors() int { return r.Counters.IOErrors }
+
+// DataLosses returns data failures plus FWAs.
+func (r *Report) DataLosses() int { return r.Counters.DataLosses() }
+
+// String renders a readable multi-line summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "experiment %q on SSD %s\n", r.Name, r.Profile)
+	fmt.Fprintf(&b, "  workload: %s\n", r.Spec.Workload)
+	fmt.Fprintf(&b, "  sim time: %s (active %s)\n", r.SimDuration, r.ActiveTime)
+	fmt.Fprintf(&b, "  requests: %d (%d reads, %d writes; %d completed, %d errored, %d not issued)\n",
+		r.Requests, r.Reads, r.Writes, r.Completed, r.Errored, r.NotIssued)
+	fmt.Fprintf(&b, "  faults:   %d injected\n", r.Faults)
+	fmt.Fprintf(&b, "  failures: %d data failures, %d FWA, %d IO errors (%d late corruptions)\n",
+		r.Counters.DataFailures, r.Counters.FWA, r.Counters.IOErrors, r.Counters.LateCorruptions)
+	fmt.Fprintf(&b, "  data loss per fault: %.2f\n", r.DataLossPerFault)
+	if r.RequestedIOPS > 0 {
+		fmt.Fprintf(&b, "  iops: requested %.0f responded %.0f\n", r.RequestedIOPS, r.RespondedIOPS)
+	} else {
+		fmt.Fprintf(&b, "  iops: responded %.0f\n", r.RespondedIOPS)
+	}
+	return b.String()
+}
+
+// Row renders a compact single-line summary for sweep tables.
+func (r *Report) Row() string {
+	return fmt.Sprintf("%-24s faults=%-4d data=%-5d fwa=%-5d ioerr=%-4d loss/fault=%5.2f iops=%6.0f",
+		r.Name, r.Faults, r.Counters.DataFailures, r.Counters.FWA, r.Counters.IOErrors,
+		r.DataLossPerFault, r.RespondedIOPS)
+}

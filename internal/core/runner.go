@@ -1,0 +1,448 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"powerfail/internal/blktrace"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+	"powerfail/internal/workload"
+)
+
+// ExperimentSpec describes one fault-injection experiment.
+type ExperimentSpec struct {
+	Name     string
+	Workload workload.Spec
+	// Faults is the number of power faults to inject.
+	Faults int
+	// RequestsPerFault spaces fault injections by completed workload
+	// requests (jittered by +/-25%).
+	RequestsPerFault int
+	// WindowMode pauses the workload after a chosen request completes and
+	// injects the fault PostACKDelay later — the Section IV-A experiment
+	// measuring data loss after request completion.
+	WindowMode   bool
+	PostACKDelay sim.Duration
+	// MaxSimTime aborts a runaway experiment (default 6 simulated hours).
+	MaxSimTime sim.Duration
+}
+
+// Validate checks the specification.
+func (s ExperimentSpec) Validate() error {
+	if err := s.Workload.Validate(); err != nil {
+		return err
+	}
+	if s.Faults <= 0 {
+		return fmt.Errorf("core: Faults must be positive, got %d", s.Faults)
+	}
+	if s.RequestsPerFault <= 0 {
+		return fmt.Errorf("core: RequestsPerFault must be positive, got %d", s.RequestsPerFault)
+	}
+	if s.WindowMode && s.PostACKDelay < 0 {
+		return fmt.Errorf("core: negative PostACKDelay")
+	}
+	return nil
+}
+
+type phase int
+
+const (
+	phaseRun      phase = iota // workload flowing
+	phaseArming                // cut scheduled, workload still flowing
+	phasePaused                // window mode: workload stopped, waiting to cut
+	phaseFaulting              // power off, waiting for discharge floor
+	phaseRestored              // power restored, waiting for device ready
+	phaseVerify                // verification reads in progress
+	phaseDone
+)
+
+// Runner executes one experiment on a platform. A platform instance runs
+// one experiment; build a fresh platform per run for independence.
+type Runner struct {
+	p    *Platform
+	spec ExperimentSpec
+
+	gen      *workload.Generator
+	analyzer *Analyzer
+	rng      *sim.RNG
+
+	ph          phase
+	outstanding int
+	issuedTotal int
+
+	completedSinceFault int
+	completedActive     int
+	nextFaultTarget     int
+	faultsDone          int
+	faultIdx            int
+
+	traceCursor int
+	verifyQueue []*Packet
+	verifyPos   int
+
+	activeSince   sim.Time
+	activeTotal   sim.Duration
+	startedAt     sim.Time
+	timedOut      bool
+	faultErrored  bool // open loop: first error observed this fault cycle
+	err           error
+	verifyRetries int
+}
+
+// NewRunner prepares an experiment on the platform.
+func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.MaxSimTime == 0 {
+		spec.MaxSimTime = 6 * 60 * sim.Minute
+	}
+	if cap := int64(p.Dev.Profile().CapacityGB) << 30; spec.Workload.WSSBytes > cap {
+		return nil, fmt.Errorf("core: workload WSS %d GB exceeds the drive's %d GB capacity",
+			spec.Workload.WSSBytes>>30, p.Dev.Profile().CapacityGB)
+	}
+	gen, err := workload.NewGenerator(spec.Workload, p.RNG.Fork("workload"))
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		p:        p,
+		spec:     spec,
+		gen:      gen,
+		analyzer: NewAnalyzer(p.K, p.Opts.RecheckWindow),
+		rng:      p.RNG.Fork("runner"),
+	}
+	return r, nil
+}
+
+// Analyzer exposes the failure bookkeeping (for tests and reports).
+func (r *Runner) Analyzer() *Analyzer { return r.analyzer }
+
+// Run executes the experiment to completion and assembles the report.
+func (r *Runner) Run() (*Report, error) {
+	k := r.p.K
+	r.startedAt = k.Now()
+	r.activeSince = k.Now()
+	r.ph = phaseRun
+	r.nextFaultTarget = r.jitteredTarget()
+
+	// Hardware hooks: discharge-floor watch drives the restore, device
+	// readiness drives verification.
+	r.p.PSU.NotifyBelow(r.p.Opts.OffFloorVolts, r.onRailFloor)
+	r.p.Dev.NotifyReady(r.onDeviceReady)
+
+	deadline := k.Now().Add(r.spec.MaxSimTime)
+	k.At(deadline, func() {
+		if r.ph != phaseDone {
+			r.timedOut = true
+			r.ph = phaseDone
+		}
+	})
+
+	if r.spec.Workload.IOPS > 0 {
+		r.scheduleArrival()
+	} else {
+		r.fillClosedLoop()
+	}
+
+	for r.ph != phaseDone && k.Step() {
+	}
+	if r.timedOut {
+		r.err = errors.New("core: experiment exceeded MaxSimTime")
+	}
+	return r.report(), r.err
+}
+
+func (r *Runner) jitteredTarget() int {
+	base := r.spec.RequestsPerFault
+	j := base / 4
+	if j < 1 {
+		return base
+	}
+	return base - j + r.rng.Intn(2*j+1)
+}
+
+// --- workload issue paths ---
+
+func (r *Runner) fillClosedLoop() {
+	for r.ph == phaseRun || r.ph == phaseArming {
+		if r.outstanding >= r.p.Opts.Concurrency {
+			return
+		}
+		r.issueOne()
+	}
+}
+
+func (r *Runner) scheduleArrival() {
+	if r.ph == phaseDone {
+		return
+	}
+	r.p.K.After(r.gen.NextArrival(), func() {
+		// Like the closed-loop thread, the open-loop generator is unaware
+		// of the scheduler's fault and keeps submitting through the
+		// discharge until errors surface.
+		if r.ph == phaseRun || r.ph == phaseArming ||
+			(r.ph == phaseFaulting && !r.faultErrored) {
+			r.issueOne()
+		}
+		r.scheduleArrival()
+	})
+}
+
+func (r *Runner) issueOne() {
+	item := r.gen.Next()
+	req := &blockdev.Request{
+		Pages: item.Pages,
+		LPN:   item.LPN,
+		Done:  r.onWorkloadDone,
+	}
+	if item.Op == workload.OpWrite {
+		req.Op = blockdev.OpWrite
+		req.Data = item.Data
+	} else {
+		req.Op = blockdev.OpRead
+	}
+	r.outstanding++
+	r.issuedTotal++
+	r.p.Host.Submit(req)
+	r.analyzer.OnIssue(req, item.Op)
+}
+
+func (r *Runner) onWorkloadDone(req *blockdev.Request) {
+	r.outstanding--
+	r.analyzer.OnComplete(req)
+	if !req.NotIssued {
+		// Host-queue rejections never reached the drive and do not count
+		// toward fault spacing.
+		r.completedSinceFault++
+	}
+	if (r.ph == phaseRun || r.ph == phaseArming) && req.Err == nil {
+		r.completedActive++
+	}
+
+	switch r.ph {
+	case phaseRun:
+		if r.faultsDone < r.spec.Faults && r.completedSinceFault >= r.nextFaultTarget {
+			r.armFault()
+			return
+		}
+		if req.Err != nil {
+			// The IO thread backs off on errors; the fault cycle will
+			// resume it.
+			return
+		}
+		r.reissueAfterThink()
+	case phaseArming, phaseFaulting:
+		// The IO generator is oblivious to the scheduler's fault: it keeps
+		// issuing through the discharge until it observes an error, which
+		// is how requests get caught in flight (IO errors). A host-queue
+		// rejection is backpressure, not a device error.
+		if req.Err != nil && !req.NotIssued {
+			r.faultErrored = true
+		} else if req.Err == nil {
+			r.reissueAfterThink()
+		}
+	case phaseVerify, phaseRestored, phasePaused:
+		// Workload requests draining during a fault cycle; nothing to do.
+	}
+	r.maybeStartVerify()
+}
+
+func (r *Runner) reissueAfterThink() {
+	if r.spec.Workload.IOPS > 0 {
+		return // open loop: arrivals are self-scheduled
+	}
+	r.p.K.After(r.p.Opts.ThinkTime, func() {
+		if (r.ph == phaseRun || r.ph == phaseArming || r.ph == phaseFaulting) &&
+			r.outstanding < r.p.Opts.Concurrency {
+			r.issueOne()
+		}
+	})
+}
+
+// --- fault cycle ---
+
+// armFault starts a fault cycle. In window mode the workload pauses and
+// the cut lands PostACKDelay after the trigger request's ACK; otherwise
+// the cut lands a few random milliseconds ahead while traffic continues,
+// so in-flight requests can be caught (the paper's random fault instants).
+func (r *Runner) armFault() {
+	if r.spec.WindowMode {
+		r.ph = phasePaused
+		r.p.K.After(r.spec.PostACKDelay, r.fireCut)
+		return
+	}
+	r.ph = phaseArming
+	delay := r.rng.DurationRange(0, 5*sim.Millisecond)
+	r.p.K.After(delay, r.fireCut)
+	r.fillClosedLoop()
+}
+
+func (r *Runner) fireCut() {
+	if r.ph != phaseArming && r.ph != phasePaused {
+		return
+	}
+	r.noteInactive()
+	r.ph = phaseFaulting
+	r.faultIdx = r.analyzer.BeginFault(r.p.K.Now())
+	r.p.Sched.Cut()
+}
+
+// onRailFloor fires when the rail finishes discharging; after the settle
+// hold the scheduler restores power.
+func (r *Runner) onRailFloor() {
+	if r.ph != phaseFaulting {
+		return
+	}
+	r.p.K.After(r.p.Opts.SettleAfterOff, func() {
+		if r.ph != phaseFaulting {
+			return
+		}
+		r.ph = phaseRestored
+		r.p.Sched.Restore()
+	})
+}
+
+func (r *Runner) onDeviceReady() {
+	if r.ph != phaseRestored {
+		return
+	}
+	r.ph = phaseVerify
+	r.maybeStartVerify()
+}
+
+func (r *Runner) maybeStartVerify() {
+	if r.ph != phaseVerify || r.outstanding > 0 || r.verifyQueue != nil {
+		return
+	}
+	// Fold the trace into the packets, then reset it to bound memory.
+	if r.p.Tracer != nil {
+		events, cursor := r.p.Tracer.Since(r.traceCursor)
+		r.analyzer.AttachTrace(blktrace.Assemble(events))
+		_ = cursor
+		r.p.Tracer.Reset()
+		r.traceCursor = 0
+	}
+	r.verifyQueue = r.analyzer.VerifyCandidates(r.p.K.Now())
+	r.verifyPos = 0
+	r.verifyNext()
+}
+
+func (r *Runner) verifyNext() {
+	if r.verifyPos >= len(r.verifyQueue) {
+		r.finishVerification()
+		return
+	}
+	pkt := r.verifyQueue[r.verifyPos]
+	if pkt.Op == workload.OpRead || pkt.NotIssued {
+		// Reads carry no durable expectation: only the completed flag
+		// matters (IO error detection).
+		r.analyzer.Classify(pkt, content.Data{}, r.faultIdx)
+		r.verifyPos++
+		r.verifyNext()
+		return
+	}
+	r.verifyRetries = 0
+	r.verifyRead(pkt)
+}
+
+func (r *Runner) verifyRead(pkt *Packet) {
+	req := &blockdev.Request{
+		Op:      blockdev.OpRead,
+		LPN:     pkt.LPN,
+		Pages:   pkt.Pages,
+		Control: true,
+		Done: func(req *blockdev.Request) {
+			if req.Err != nil {
+				// The drive should be ready; retry a few times before
+				// treating the range as unreadable garbage.
+				if r.verifyRetries < 3 {
+					r.verifyRetries++
+					r.p.K.After(10*sim.Millisecond, func() { r.verifyRead(pkt) })
+					return
+				}
+				r.analyzer.Classify(pkt, content.Zeroes(0), r.faultIdx)
+			} else {
+				r.analyzer.Classify(pkt, req.Result, r.faultIdx)
+			}
+			r.verifyPos++
+			r.verifyNext()
+		},
+	}
+	r.p.Host.Submit(req)
+}
+
+func (r *Runner) finishVerification() {
+	r.verifyQueue = nil
+	r.faultsDone++
+	r.faultErrored = false
+	r.completedSinceFault = 0
+	r.nextFaultTarget = r.jitteredTarget()
+	if r.faultsDone >= r.spec.Faults {
+		r.ph = phaseDone
+		return
+	}
+	r.ph = phaseRun
+	r.activeSince = r.p.K.Now()
+	if r.spec.Workload.IOPS <= 0 {
+		r.fillClosedLoop()
+	}
+}
+
+func (r *Runner) noteInactive() {
+	r.activeTotal += r.p.K.Now().Sub(r.activeSince)
+}
+
+// --- report ---
+
+func (r *Runner) report() *Report {
+	c := r.analyzer.Counters()
+	active := r.activeTotal
+	if r.ph != phaseDone && (r.ph == phaseRun || r.ph == phaseArming) {
+		active += r.p.K.Now().Sub(r.activeSince)
+	}
+	rep := &Report{
+		Name:          r.spec.Name,
+		Profile:       r.p.Dev.Profile().Name,
+		Spec:          r.spec,
+		SimDuration:   r.p.K.Now().Sub(r.startedAt),
+		ActiveTime:    active,
+		Requests:      c.Issued,
+		Reads:         c.Reads,
+		Writes:        c.Writes,
+		Completed:     c.Completed,
+		Errored:       c.Errored,
+		NotIssued:     c.NotIssued,
+		Faults:        r.faultsDone,
+		Counters:      c,
+		PerFault:      r.analyzer.PerFault(),
+		DeviceStats:   r.p.Dev.Stats(),
+		HostStats:     r.p.Host.Stats(),
+		RequestedIOPS: r.spec.Workload.IOPS,
+	}
+	if active > 0 {
+		// Responded IOPS counts only completions during powered workload
+		// phases, measured against powered workload time.
+		rep.RespondedIOPS = float64(r.completedActive) / active.Seconds()
+	}
+	if rep.Faults > 0 {
+		rep.DataLossPerFault = float64(c.DataLosses()) / float64(rep.Faults)
+	}
+	return rep
+}
+
+// RunExperiment is the one-call entry point: build a platform, run the
+// spec, return the report.
+func RunExperiment(opts Options, spec ExperimentSpec) (*Report, error) {
+	p, err := NewPlatform(opts)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := NewRunner(p, spec)
+	if err != nil {
+		return nil, err
+	}
+	return runner.Run()
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+	"powerfail/internal/workload"
+)
+
+// TestSmokeExperiment runs a small but complete fault-injection experiment
+// end to end and sanity-checks the report.
+func TestSmokeExperiment(t *testing.T) {
+	prof := ssd.ProfileA()
+	prof.CapacityGB = 8 // keep the FTL maps small for the smoke test
+	rep, err := RunExperiment(Options{Seed: 42, Profile: prof}, ExperimentSpec{
+		Name: "smoke",
+		Workload: workload.Spec{
+			Name:     "smoke",
+			WSSBytes: 1 << 30,
+			MinSize:  4 << 10,
+			MaxSize:  1 << 20,
+			ReadPct:  0,
+			Pattern:  workload.Random,
+		},
+		Faults:           10,
+		RequestsPerFault: 16,
+		MaxSimTime:       20 * sim.Minute,
+	})
+	if err != nil {
+		t.Fatalf("experiment failed: %v", err)
+	}
+	t.Logf("report:\n%s", rep)
+	if rep.Faults != 10 {
+		t.Errorf("faults = %d, want 10", rep.Faults)
+	}
+	if rep.Requests < 100 {
+		t.Errorf("requests = %d, want >= 100", rep.Requests)
+	}
+	if rep.DataLosses() == 0 {
+		t.Errorf("expected some data losses on a write workload, got none")
+	}
+	if rep.Counters.OKVerified == 0 {
+		t.Errorf("expected most requests to verify clean")
+	}
+}

@@ -1,0 +1,276 @@
+// Package dram models the SSD's internal volatile write-back cache: the
+// component the paper singles out as a primary source of data loss, since
+// writes are acknowledged to the host as soon as they land in DRAM and die
+// with it on power failure unless a supercapacitor drains them to flash.
+//
+// The cache keeps dirty entries in arrival (FIFO) order for the background
+// flusher and clean entries on an LRU list for read caching. A page being
+// flushed stays readable; if the host overwrites it mid-flush the entry is
+// re-dirtied with a new sequence number so the stale flush completion
+// cannot mark it clean.
+package dram
+
+import (
+	"container/list"
+	"fmt"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/content"
+)
+
+// Entry is the host-visible view of one cached page.
+type Entry struct {
+	LPN addr.LPN
+	FP  content.Fingerprint
+	Seq uint64
+}
+
+type slot struct {
+	lpn     addr.LPN
+	fp      content.Fingerprint
+	seq     uint64
+	dirty   bool
+	flights int           // outstanding flusher pops for this entry
+	elem    *list.Element // position on dirtyQ or cleanLRU
+}
+
+func (s *slot) flushing() bool { return s.flights > 0 }
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	Inserts      int64
+	Evictions    int64
+	Flushes      int64
+	ReDirties    int64
+	DroppedDirty int64 // dirty pages lost to power failures
+}
+
+// Cache is the volatile write-back cache.
+type Cache struct {
+	capPages int
+	m        map[addr.LPN]*slot
+	dirtyQ   *list.List // *slot, FIFO by first-dirty time
+	cleanLRU *list.List // *slot, front = most recent
+	flushing int        // pages popped by the flusher, not yet retired
+	seq      uint64
+	stats    Stats
+}
+
+// New builds a cache holding capPages 4 KiB pages.
+func New(capPages int) (*Cache, error) {
+	if capPages <= 0 {
+		return nil, fmt.Errorf("dram: capacity must be positive, got %d", capPages)
+	}
+	return &Cache{
+		capPages: capPages,
+		m:        make(map[addr.LPN]*slot),
+		dirtyQ:   list.New(),
+		cleanLRU: list.New(),
+	}, nil
+}
+
+// Cap returns the capacity in pages.
+func (c *Cache) Cap() int { return c.capPages }
+
+// Len returns the number of resident pages.
+func (c *Cache) Len() int { return len(c.m) }
+
+// DirtyPages returns the number of dirty (including flushing) pages.
+func (c *Cache) DirtyPages() int { return c.dirtyQ.Len() + c.flushing }
+
+// QueuedDirty returns dirty pages waiting for the flusher (excludes pages
+// already being flushed).
+func (c *Cache) QueuedDirty() int { return c.dirtyQ.Len() }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Write inserts or overwrites a page as dirty. It reports false when the
+// cache is full of dirty pages and cannot accept more; the controller must
+// let the flusher drain before retrying (write backpressure).
+func (c *Cache) Write(lpn addr.LPN, fp content.Fingerprint) bool {
+	if s, ok := c.m[lpn]; ok {
+		s.fp = fp
+		c.seq++
+		s.seq = c.seq
+		switch {
+		case s.flushing():
+			// Overwritten mid-flush: re-dirty so the in-flight flush
+			// completion cannot retire the newer data.
+			s.dirty = true
+			if s.elem == nil {
+				s.elem = c.dirtyQ.PushBack(s)
+			}
+			c.stats.ReDirties++
+		case s.dirty:
+			// Already queued dirty; keep FIFO position.
+		default:
+			c.cleanLRU.Remove(s.elem)
+			s.dirty = true
+			s.elem = c.dirtyQ.PushBack(s)
+		}
+		c.stats.Inserts++
+		return true
+	}
+	if len(c.m) >= c.capPages && !c.evictClean() {
+		return false
+	}
+	c.seq++
+	s := &slot{lpn: lpn, fp: fp, seq: c.seq, dirty: true}
+	s.elem = c.dirtyQ.PushBack(s)
+	c.m[lpn] = s
+	c.stats.Inserts++
+	return true
+}
+
+func (c *Cache) evictClean() bool {
+	e := c.cleanLRU.Back()
+	if e == nil {
+		return false
+	}
+	s := e.Value.(*slot)
+	c.cleanLRU.Remove(e)
+	delete(c.m, s.lpn)
+	c.stats.Evictions++
+	return true
+}
+
+// Read looks a page up, refreshing its LRU position when clean.
+func (c *Cache) Read(lpn addr.LPN) (content.Fingerprint, bool) {
+	s, ok := c.m[lpn]
+	if !ok {
+		c.stats.Misses++
+		return content.Zero, false
+	}
+	if !s.dirty && !s.flushing() && s.elem != nil {
+		c.cleanLRU.MoveToFront(s.elem)
+	}
+	c.stats.Hits++
+	return s.fp, true
+}
+
+// PopDirty removes up to max pages from the head of the dirty FIFO and
+// marks them flushing. The pages stay readable until FlushDone.
+func (c *Cache) PopDirty(max int) []Entry {
+	if max <= 0 {
+		return nil
+	}
+	var out []Entry
+	for len(out) < max {
+		e := c.dirtyQ.Front()
+		if e == nil {
+			break
+		}
+		s := e.Value.(*slot)
+		c.dirtyQ.Remove(e)
+		s.elem = nil
+		s.dirty = false
+		if s.flights == 0 {
+			c.flushing++
+		}
+		s.flights++
+		out = append(out, Entry{LPN: s.lpn, FP: s.fp, Seq: s.seq})
+	}
+	return out
+}
+
+// FlushDone retires a flushed page. If the page was overwritten while the
+// flush was in flight (sequence mismatch) it stays dirty; otherwise it
+// becomes clean and joins the LRU.
+func (c *Cache) FlushDone(lpn addr.LPN, seq uint64) {
+	s, ok := c.m[lpn]
+	if !ok {
+		return
+	}
+	c.retireFlight(s)
+	if s.seq != seq {
+		// Newer data arrived; its dirty queue entry (added by Write)
+		// is already in place.
+		return
+	}
+	s.dirty = false
+	if s.elem == nil {
+		s.elem = c.cleanLRU.PushFront(s)
+	}
+	c.stats.Flushes++
+}
+
+func (c *Cache) retireFlight(s *slot) {
+	if s.flights > 0 {
+		s.flights--
+		if s.flights == 0 {
+			c.flushing--
+		}
+	}
+}
+
+// FlushFailed requeues a page whose flush was interrupted before the
+// program completed; the data is still only in DRAM.
+func (c *Cache) FlushFailed(lpn addr.LPN, seq uint64) {
+	s, ok := c.m[lpn]
+	if !ok {
+		return
+	}
+	c.retireFlight(s)
+	if s.seq != seq {
+		return
+	}
+	s.dirty = true
+	if s.elem == nil {
+		s.elem = c.dirtyQ.PushFront(s)
+	}
+}
+
+// Invalidate drops a page (trim or host discard).
+func (c *Cache) Invalidate(lpn addr.LPN) {
+	s, ok := c.m[lpn]
+	if !ok {
+		return
+	}
+	if s.elem != nil {
+		if s.dirty {
+			c.dirtyQ.Remove(s.elem)
+		} else {
+			c.cleanLRU.Remove(s.elem)
+		}
+	}
+	if s.flights > 0 {
+		c.flushing--
+	}
+	delete(c.m, lpn)
+}
+
+// DirtyEntries snapshots every dirty or in-flight page, oldest first; the
+// supercapacitor panic flush consumes this.
+func (c *Cache) DirtyEntries() []Entry {
+	var out []Entry
+	for e := c.dirtyQ.Front(); e != nil; e = e.Next() {
+		s := e.Value.(*slot)
+		out = append(out, Entry{LPN: s.lpn, FP: s.fp, Seq: s.seq})
+	}
+	for _, s := range c.m {
+		if s.flushing() && !s.dirty && s.elem == nil {
+			out = append(out, Entry{LPN: s.lpn, FP: s.fp, Seq: s.seq})
+		}
+	}
+	return out
+}
+
+// DropAll models power loss: every entry vanishes. It returns the number
+// of dirty pages (acknowledged data) that were lost.
+func (c *Cache) DropAll() int {
+	lost := 0
+	for _, s := range c.m {
+		if s.dirty || s.flushing() {
+			lost++
+		}
+	}
+	c.m = make(map[addr.LPN]*slot)
+	c.dirtyQ.Init()
+	c.cleanLRU.Init()
+	c.flushing = 0
+	c.stats.DroppedDirty += int64(lost)
+	return lost
+}

@@ -1,0 +1,147 @@
+package flash
+
+import (
+	"fmt"
+
+	"powerfail/internal/sim"
+)
+
+// CellKind is the number of bits stored per flash cell.
+type CellKind int
+
+// Supported cell technologies. The paper's drives are MLC (SSDs A and C)
+// and TLC (SSD B).
+const (
+	SLC CellKind = iota + 1
+	MLC
+	TLC
+)
+
+// String implements fmt.Stringer.
+func (c CellKind) String() string {
+	switch c {
+	case SLC:
+		return "SLC"
+	case MLC:
+		return "MLC"
+	case TLC:
+		return "TLC"
+	default:
+		return fmt.Sprintf("CellKind(%d)", int(c))
+	}
+}
+
+// BitsPerCell returns the bits stored in one cell.
+func (c CellKind) BitsPerCell() int { return int(c) }
+
+// Valid reports whether c is a known technology.
+func (c CellKind) Valid() bool { return c >= SLC && c <= TLC }
+
+// ProgramSteps is the number of incremental step pulse programming (ISPP)
+// iterations a full page program performs. A power cut lands between
+// iterations; the later it lands, the closer the cell distributions are to
+// their targets and the more likely ECC can still rescue the page.
+func (c CellKind) ProgramSteps() int {
+	switch c {
+	case SLC:
+		return 2
+	case MLC:
+		return 8
+	case TLC:
+		return 16
+	default:
+		return 8
+	}
+}
+
+// PairedLowerPages returns the in-block page indices whose cells are shared
+// with the given page and were programmed earlier. Programming (or
+// interrupting a program of) the given page can disturb these pages. The
+// stride model is a simplification of real shared-page maps: MLC pairs
+// page p with p-4, TLC groups p with p-3 and p-6.
+func (c CellKind) PairedLowerPages(page int) []int {
+	switch c {
+	case MLC:
+		if page >= 4 {
+			return []int{page - 4}
+		}
+	case TLC:
+		var out []int
+		if page >= 3 {
+			out = append(out, page-3)
+		}
+		if page >= 6 {
+			out = append(out, page-6)
+		}
+		return out
+	}
+	return nil
+}
+
+// PairCorruptProb is the peak probability that an interrupted program of an
+// upper page corrupts one of its paired lower pages. TLC's tighter voltage
+// margins make it more fragile.
+func (c CellKind) PairCorruptProb() float64 {
+	switch c {
+	case SLC:
+		return 0
+	case MLC:
+		return 0.45
+	case TLC:
+		return 0.65
+	default:
+		return 0.45
+	}
+}
+
+// Timing gives the nominal latencies of the three NAND operations.
+type Timing struct {
+	ReadPage    sim.Duration
+	ProgramPage sim.Duration
+	EraseBlock  sim.Duration
+}
+
+// TimingFor returns datasheet-flavoured latencies for the cell technology.
+func TimingFor(c CellKind) Timing {
+	switch c {
+	case SLC:
+		return Timing{ReadPage: 25 * sim.Microsecond, ProgramPage: 300 * sim.Microsecond, EraseBlock: 2 * sim.Millisecond}
+	case TLC:
+		return Timing{ReadPage: 90 * sim.Microsecond, ProgramPage: 2200 * sim.Microsecond, EraseBlock: 5 * sim.Millisecond}
+	default: // MLC
+		return Timing{ReadPage: 60 * sim.Microsecond, ProgramPage: 900 * sim.Microsecond, EraseBlock: 3500 * sim.Microsecond}
+	}
+}
+
+// Validate checks timing sanity.
+func (t Timing) Validate() error {
+	if t.ReadPage <= 0 || t.ProgramPage <= 0 || t.EraseBlock <= 0 {
+		return fmt.Errorf("flash: timing values must be positive: %+v", t)
+	}
+	return nil
+}
+
+// ECCConfig models the controller's per-page error correction strength.
+type ECCConfig struct {
+	// Scheme is a label such as "BCH" or "LDPC"; informational.
+	Scheme string
+	// CorrectPerKB is the number of raw bit errors correctable per 1 KiB
+	// codeword. Typical values: BCH ~40, LDPC ~100.
+	CorrectPerKB int
+}
+
+// CorrectPerPage returns the total correctable bits across the page's
+// codewords. This approximates per-codeword budgets at page granularity,
+// which is accurate enough for failure-rate modelling and documented in
+// DESIGN.md.
+func (e ECCConfig) CorrectPerPage() int {
+	return e.CorrectPerKB * (4096 / 1024)
+}
+
+// Validate checks the ECC configuration.
+func (e ECCConfig) Validate() error {
+	if e.CorrectPerKB < 0 {
+		return fmt.Errorf("flash: ECC CorrectPerKB must be non-negative, got %d", e.CorrectPerKB)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+// Package hdd models a conventional hard disk drive as a comparator for
+// the SSDs under test. The paper's platform drives "the under test SSDs
+// (or HDDs)" from the same PSU; an HDD makes a useful baseline because its
+// write path is mechanical and write-through (no multi-millisecond ISPP,
+// no volatile mapping table), so power faults produce a very different
+// failure profile: at most the sector being written at the instant of the
+// cut is torn, and nothing previously acknowledged is disturbed.
+//
+// The model implements blockdev.Device, so the whole platform — block
+// layer, tracer, analyzer — runs unchanged against it.
+package hdd
+
+import (
+	"errors"
+	"fmt"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+)
+
+// Profile describes the drive's mechanics.
+type Profile struct {
+	Name       string
+	CapacityGB int
+	// RPM sets the rotational latency (half a revolution on average).
+	RPM int
+	// AvgSeek is the average seek time.
+	AvgSeek sim.Duration
+	// MediaBytesPerSec is the sustained transfer rate at the platter.
+	MediaBytesPerSec float64
+	// WriteCache enables the small volatile write buffer most desktop
+	// drives ship with (the paper-relevant risk knob).
+	WriteCache      bool
+	WriteCachePages int
+	// BrownoutVolts drops the host link, as for the SSDs.
+	BrownoutVolts float64
+	LoadOhms      float64
+	FailFast      sim.Duration
+	RecoveryTime  sim.Duration
+}
+
+// DefaultProfile is a 7200 RPM desktop drive with its write cache off
+// (write-through), the configuration that makes HDDs power-fault tolerant.
+func DefaultProfile() Profile {
+	return Profile{
+		Name:             "HDD",
+		CapacityGB:       500,
+		RPM:              7200,
+		AvgSeek:          8 * sim.Millisecond,
+		MediaBytesPerSec: 150e6,
+		WriteCache:       false,
+		WriteCachePages:  2048,
+		BrownoutVolts:    4.5,
+		LoadOhms:         30,
+		FailFast:         500 * sim.Microsecond,
+		RecoveryTime:     2 * sim.Second, // spin-up
+	}
+}
+
+// Validate checks the profile.
+func (p Profile) Validate() error {
+	if p.CapacityGB <= 0 || p.RPM <= 0 || p.MediaBytesPerSec <= 0 {
+		return fmt.Errorf("hdd: bad profile %+v", p)
+	}
+	return nil
+}
+
+// UserPages returns the exported capacity in 4 KiB pages.
+func (p Profile) UserPages() int64 { return int64(p.CapacityGB) << 30 >> addr.PageShift }
+
+func (p Profile) rotHalf() sim.Duration {
+	return sim.Duration(30.0 / float64(p.RPM) * 1e9) // half a revolution
+}
+
+// ErrUnavailable mirrors the SSD error for a drive below brownout.
+var ErrUnavailable = errors.New("hdd: device unavailable")
+
+// Stats counts drive activity.
+type Stats struct {
+	Reads       int64
+	Writes      int64
+	Errors      int64
+	TornSectors int64
+	CacheLost   int64
+	Deaths      int64
+	Recoveries  int64
+}
+
+// Disk is the drive. Sector contents are fingerprints, like the SSD model.
+type Disk struct {
+	k    *sim.Kernel
+	r    *sim.RNG
+	prof Profile
+
+	media map[addr.LPN]content.Fingerprint
+	// cacheQ holds volatile write-cache entries awaiting the platter.
+	cacheQ []cacheEnt
+
+	available bool
+	busyUntil sim.Time
+	// inFlightWrite tracks the page being written at any instant so a cut
+	// can tear exactly that sector.
+	cur   *writeJob
+	stats Stats
+}
+
+type cacheEnt struct {
+	lpn addr.LPN
+	fp  content.Fingerprint
+}
+
+type writeJob struct {
+	lpn     addr.LPN
+	pages   int
+	data    content.Data
+	startAt sim.Time
+	perPage sim.Duration
+	done    func(error, content.Data)
+	timer   *sim.Timer
+}
+
+// New attaches a disk to the PSU rail.
+func New(k *sim.Kernel, r *sim.RNG, prof Profile, psu *power.PSU) (*Disk, error) {
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Disk{
+		k:         k,
+		r:         r,
+		prof:      prof,
+		media:     make(map[addr.LPN]content.Fingerprint),
+		available: true,
+	}
+	if psu != nil {
+		psu.Connect("hdd-"+prof.Name, prof.LoadOhms)
+		psu.NotifyBelow(prof.BrownoutVolts, d.onPowerLoss)
+		psu.NotifyAbove(prof.BrownoutVolts+0.25, d.onPowerGood)
+	}
+	return d, nil
+}
+
+// Profile returns the drive profile.
+func (d *Disk) Profile() Profile { return d.prof }
+
+// Stats returns the counters.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Available reports whether the drive answers the host.
+func (d *Disk) Available() bool { return d.available }
+
+func (d *Disk) serviceStart() sim.Time {
+	now := d.k.Now()
+	if d.busyUntil > now {
+		return d.busyUntil
+	}
+	return now
+}
+
+// Submit implements blockdev.Device.
+func (d *Disk) Submit(op blockdev.Op, lpn addr.LPN, pages int, data content.Data, done func(err error, result content.Data)) {
+	if !d.available {
+		d.stats.Errors++
+		d.k.After(d.prof.FailFast, func() { done(ErrUnavailable, content.Data{}) })
+		return
+	}
+	if lpn < 0 || int64(lpn)+int64(pages) > d.prof.UserPages() {
+		d.stats.Errors++
+		d.k.After(d.prof.FailFast, func() { done(errors.New("hdd: out of range"), content.Data{}) })
+		return
+	}
+	mech := d.prof.AvgSeek + d.prof.rotHalf()
+	xfer := sim.Duration(float64(pages*addr.PageBytes) / d.prof.MediaBytesPerSec * 1e9)
+	start := d.serviceStart().Add(mech)
+	switch op {
+	case blockdev.OpRead:
+		d.busyUntil = start.Add(xfer)
+		d.k.At(d.busyUntil, func() {
+			if !d.available {
+				done(ErrUnavailable, content.Data{})
+				return
+			}
+			d.stats.Reads++
+			done(nil, content.Gather(pages, func(i int) content.Fingerprint {
+				return d.readPage(lpn + addr.LPN(i))
+			}))
+		})
+	case blockdev.OpWrite:
+		if d.prof.WriteCache && len(d.cacheQ)+pages <= d.prof.WriteCachePages {
+			// Volatile buffer: instant ACK, platter catches up lazily.
+			for i := 0; i < pages; i++ {
+				d.cacheQ = append(d.cacheQ, cacheEnt{lpn + addr.LPN(i), data.Page(i)})
+			}
+			d.busyUntil = start.Add(xfer)
+			d.k.At(d.busyUntil, func() { d.drainCache(pages) })
+			d.k.After(100*sim.Microsecond, func() { done(nil, content.Data{}) })
+			d.stats.Writes++
+			return
+		}
+		// Write-through: the head commits sector by sector; completion
+		// and ACK coincide.
+		job := &writeJob{
+			lpn: lpn, pages: pages, data: data,
+			startAt: start,
+			perPage: xfer / sim.Duration(pages),
+			done:    done,
+		}
+		d.busyUntil = start.Add(xfer)
+		d.cur = job
+		job.timer = d.k.At(d.busyUntil, func() {
+			d.cur = nil
+			for i := 0; i < pages; i++ {
+				d.media[lpn+addr.LPN(i)] = data.Page(i)
+			}
+			d.stats.Writes++
+			done(nil, content.Data{})
+		})
+	default: // flush
+		d.k.After(d.prof.FailFast, func() {
+			d.cacheQ = d.flushAll()
+			done(nil, content.Data{})
+		})
+	}
+}
+
+func (d *Disk) readPage(lpn addr.LPN) content.Fingerprint {
+	// The volatile buffer is readable while powered.
+	for i := len(d.cacheQ) - 1; i >= 0; i-- {
+		if d.cacheQ[i].lpn == lpn {
+			return d.cacheQ[i].fp
+		}
+	}
+	return d.media[lpn]
+}
+
+func (d *Disk) drainCache(n int) {
+	for i := 0; i < n && len(d.cacheQ) > 0; i++ {
+		e := d.cacheQ[0]
+		d.cacheQ = d.cacheQ[1:]
+		d.media[e.lpn] = e.fp
+	}
+}
+
+func (d *Disk) flushAll() []cacheEnt {
+	for _, e := range d.cacheQ {
+		d.media[e.lpn] = e.fp
+	}
+	return nil
+}
+
+// onPowerLoss models the cut: the sector under the head right now is
+// torn; any volatile write-cache content is gone; the drive drops off the
+// bus until power and spin-up return.
+func (d *Disk) onPowerLoss() {
+	if !d.available {
+		return
+	}
+	d.available = false
+	d.stats.Deaths++
+	if job := d.cur; job != nil {
+		job.timer.Stop()
+		elapsed := d.k.Now().Sub(job.startAt)
+		if elapsed > 0 && job.perPage > 0 {
+			done := int(elapsed / job.perPage)
+			for i := 0; i < done && i < job.pages; i++ {
+				d.media[job.lpn+addr.LPN(i)] = job.data.Page(i)
+			}
+			if done < job.pages {
+				// The sector under the head is torn: unreadable garbage.
+				d.media[job.lpn+addr.LPN(done)] = content.Mix(job.data.Page(done), d.r.Uint64())
+				d.stats.TornSectors++
+			}
+		}
+		// The host never hears the ACK; its block layer errors/times out.
+		d.cur = nil
+	}
+	d.stats.CacheLost += int64(len(d.cacheQ))
+	d.cacheQ = nil
+	d.busyUntil = 0
+}
+
+func (d *Disk) onPowerGood() {
+	if d.available {
+		return
+	}
+	d.k.After(d.prof.RecoveryTime, func() {
+		d.available = true
+		d.stats.Recoveries++
+	})
+}

@@ -1,0 +1,201 @@
+package hdd
+
+import (
+	"testing"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+)
+
+type rig struct {
+	k    *sim.Kernel
+	psu  *power.PSU
+	disk *Disk
+}
+
+func newRig(t *testing.T, prof Profile) *rig {
+	t.Helper()
+	k := sim.New()
+	psu, err := power.New(k, power.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(k, sim.NewRNG(3), prof, psu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, psu: psu, disk: d}
+}
+
+func (r *rig) write(t *testing.T, lpn addr.LPN, data content.Data) error {
+	t.Helper()
+	var out error
+	done := false
+	r.disk.Submit(blockdev.OpWrite, lpn, data.Pages(), data, func(err error, _ content.Data) {
+		out = err
+		done = true
+	})
+	r.k.RunWhile(func() bool { return !done })
+	return out
+}
+
+func (r *rig) read(t *testing.T, lpn addr.LPN, pages int) (content.Data, error) {
+	t.Helper()
+	var out content.Data
+	var rerr error
+	done := false
+	r.disk.Submit(blockdev.OpRead, lpn, pages, content.Data{}, func(err error, d content.Data) {
+		out, rerr = d, err
+		done = true
+	})
+	r.k.RunWhile(func() bool { return !done })
+	return out, rerr
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := newRig(t, DefaultProfile())
+	payload := content.Random(sim.NewRNG(1), 32)
+	if err := r.write(t, 100, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.read(t, 100, 32)
+	if err != nil || !got.Equal(payload) {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestMechanicalLatency(t *testing.T) {
+	r := newRig(t, DefaultProfile())
+	start := r.k.Now()
+	r.write(t, 0, content.Random(sim.NewRNG(2), 1))
+	elapsed := r.k.Now().Sub(start)
+	// Seek (8 ms) + half-rotation (~4.2 ms at 7200 RPM) at minimum.
+	if elapsed < 12*sim.Millisecond {
+		t.Fatalf("write finished in %s; no mechanical latency", elapsed)
+	}
+}
+
+// TestWriteThroughSurvivesPowerLoss: an acknowledged write on a
+// write-through HDD is durable — the property that distinguishes it from
+// the SSDs in this repository.
+func TestWriteThroughSurvivesPowerLoss(t *testing.T) {
+	r := newRig(t, DefaultProfile())
+	payload := content.Random(sim.NewRNG(5), 16)
+	if err := r.write(t, 50, payload); err != nil {
+		t.Fatal(err)
+	}
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	r.psu.PowerOn()
+	r.k.RunFor(3 * sim.Second) // spin-up
+	if !r.disk.Available() {
+		t.Fatal("disk never recovered")
+	}
+	got, err := r.read(t, 50, 16)
+	if err != nil || !got.Equal(payload) {
+		t.Fatal("acknowledged write-through data lost")
+	}
+}
+
+// TestTornSectorOnCut: cutting power mid-write tears exactly the sector
+// under the head; the ACK never arrives.
+func TestTornSectorOnCut(t *testing.T) {
+	r := newRig(t, DefaultProfile())
+	// 8 MB of media time (~53 ms) so the write straddles the ~41 ms
+	// discharge between the cut command and the brownout.
+	const pages = 2048
+	payload := content.Random(sim.NewRNG(6), pages)
+	acked := false
+	r.disk.Submit(blockdev.OpWrite, 0, pages, payload, func(err error, _ content.Data) {
+		acked = err == nil
+	})
+	r.k.RunFor(5 * sim.Millisecond)
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	if acked {
+		t.Fatal("interrupted write was acknowledged")
+	}
+	if r.disk.Stats().TornSectors != 1 {
+		t.Fatalf("torn sectors = %d, want 1", r.disk.Stats().TornSectors)
+	}
+	r.psu.PowerOn()
+	r.k.RunFor(3 * sim.Second)
+	got, err := r.read(t, 0, pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matches, torn := 0, 0
+	for i := 0; i < pages; i++ {
+		switch got.Page(i) {
+		case payload.Page(i):
+			matches++
+		case content.Zero:
+			// never reached
+		default:
+			torn++
+		}
+	}
+	if torn != 1 {
+		t.Fatalf("torn pages = %d, want exactly 1", torn)
+	}
+	if matches == 0 {
+		t.Fatal("no pages committed before the cut")
+	}
+}
+
+// TestWriteCacheLosesDataLikeSSDs: enabling the HDD's volatile write
+// buffer reintroduces the SSD-style FWA failure mode.
+func TestWriteCacheLosesDataLikeSSDs(t *testing.T) {
+	prof := DefaultProfile()
+	prof.WriteCache = true
+	r := newRig(t, prof)
+	payload := content.Random(sim.NewRNG(7), 8)
+	if err := r.write(t, 10, payload); err != nil {
+		t.Fatal(err)
+	}
+	// ACK arrived (cache); cut before the platter catches up.
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	r.psu.PowerOn()
+	r.k.RunFor(3 * sim.Second)
+	got, err := r.read(t, 10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(payload) {
+		t.Skip("platter caught up before the cut on this timing")
+	}
+	if r.disk.Stats().CacheLost == 0 {
+		t.Fatal("no cache loss recorded")
+	}
+}
+
+func TestUnavailableFailsFast(t *testing.T) {
+	r := newRig(t, DefaultProfile())
+	r.psu.PowerOff()
+	r.k.RunFor(60 * sim.Millisecond)
+	_, err := r.read(t, 0, 1)
+	if err != ErrUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	r := newRig(t, DefaultProfile())
+	if err := r.write(t, addr.LPN(r.disk.Profile().UserPages()), content.Random(sim.NewRNG(8), 1)); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := Profile{}
+	if bad.Validate() == nil {
+		t.Fatal("zero profile accepted")
+	}
+	if DefaultProfile().Validate() != nil {
+		t.Fatal("default profile invalid")
+	}
+}

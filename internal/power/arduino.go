@@ -1,0 +1,98 @@
+package power
+
+import (
+	"fmt"
+
+	"powerfail/internal/sim"
+)
+
+// ATX models the PSU's ATX controller connector. Pin 16 (PS_ON#) is active
+// low: driving it high cuts the supply output, pulling it low restores it.
+// This mirrors Fig. 3 of the paper, where Arduino pin 13 drives pin 16.
+type ATX struct {
+	psu   *PSU
+	pin16 bool // true = high = supply off
+}
+
+// NewATX wires an ATX controller to the supply, with PS_ON# asserted
+// (supply on).
+func NewATX(psu *PSU) *ATX { return &ATX{psu: psu, pin16: false} }
+
+// Pin16 reports the PS_ON# level (true = high = off).
+func (a *ATX) Pin16() bool { return a.pin16 }
+
+// SetPin16 drives PS_ON#. High cuts the output; low restores it.
+func (a *ATX) SetPin16(high bool) {
+	if a.pin16 == high {
+		return
+	}
+	a.pin16 = high
+	if high {
+		a.psu.PowerOff()
+	} else {
+		a.psu.PowerOn()
+	}
+}
+
+// Arduino command bytes understood by the microcontroller firmware: the
+// scheduler sends CmdCut to inject a fault and CmdRestore to end it.
+const (
+	CmdCut     byte = '1' // drive pin 13 high -> PS_ON# high -> supply off
+	CmdRestore byte = '0' // drive pin 13 low  -> PS_ON# low  -> supply on
+)
+
+// Arduino models the UNO board (ATmega328) from the paper's hardware part.
+// Commands arrive over a serial link with a small latency (USB-serial
+// transfer plus firmware loop) before pin 13 changes level.
+type Arduino struct {
+	k             *sim.Kernel
+	serialLatency sim.Duration
+	pin13         bool
+	wire          func(high bool)
+	commands      int
+}
+
+// NewArduino builds the board with the given serial+loop latency. The wire
+// callback is invoked whenever pin 13 changes level; wire it to
+// ATX.SetPin16 to complete the hardware chain.
+func NewArduino(k *sim.Kernel, serialLatency sim.Duration, wire func(high bool)) *Arduino {
+	if serialLatency < 0 {
+		serialLatency = 0
+	}
+	return &Arduino{k: k, serialLatency: serialLatency, wire: wire}
+}
+
+// DefaultSerialLatency approximates one command byte at 115200 baud plus
+// the firmware polling loop.
+const DefaultSerialLatency = 200 * sim.Microsecond
+
+// Pin13 reports the current output pin level.
+func (a *Arduino) Pin13() bool { return a.pin13 }
+
+// Commands returns how many commands the firmware has processed.
+func (a *Arduino) Commands() int { return a.commands }
+
+// Send transmits a command byte from the host. The pin change takes effect
+// after the serial latency, like the real firmware's receive-then-set loop.
+func (a *Arduino) Send(cmd byte) error {
+	var high bool
+	switch cmd {
+	case CmdCut:
+		high = true
+	case CmdRestore:
+		high = false
+	default:
+		return fmt.Errorf("power: unknown arduino command %q", cmd)
+	}
+	a.k.After(a.serialLatency, func() {
+		a.commands++
+		if a.pin13 == high {
+			return
+		}
+		a.pin13 = high
+		if a.wire != nil {
+			a.wire(high)
+		}
+	})
+	return nil
+}

@@ -1,0 +1,173 @@
+package sim
+
+import "container/heap"
+
+// Timer is a pending callback scheduled on a Kernel. Timers are one-shot;
+// use Stop to cancel one that has not fired yet.
+type Timer struct {
+	when    Time
+	seq     uint64
+	fn      func()
+	stopped bool
+	fired   bool
+}
+
+// When reports the instant at which the timer is due to fire.
+func (t *Timer) When() Time { return t.when }
+
+// Stop cancels the timer. It reports whether the cancellation prevented the
+// callback from running (false if the timer already fired or was stopped).
+func (t *Timer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	t.fn = nil
+	return true
+}
+
+// Stopped reports whether the timer was cancelled before firing.
+func (t *Timer) Stopped() bool { return t.stopped }
+
+// Fired reports whether the timer's callback has run.
+func (t *Timer) Fired() bool { return t.fired }
+
+type timerHeap []*Timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// Kernel is a single-threaded discrete-event scheduler. Events scheduled
+// for the same instant fire in scheduling order (FIFO), which keeps
+// experiments deterministic.
+type Kernel struct {
+	now       Time
+	heap      timerHeap
+	seq       uint64
+	processed uint64
+}
+
+// New returns a kernel with the clock at time zero and no pending events.
+func New() *Kernel { return &Kernel{} }
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Processed returns the total number of events that have fired.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of scheduled (possibly stopped) timers.
+func (k *Kernel) Pending() int {
+	n := 0
+	for _, t := range k.heap {
+		if !t.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at instant t. Instants in the past run at the
+// current time, preserving scheduling order. fn must not be nil.
+func (k *Kernel) At(t Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < k.now {
+		t = k.now
+	}
+	tm := &Timer{when: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.heap, tm)
+	return tm
+}
+
+// After schedules fn to run d after the current time. Negative durations
+// are treated as zero.
+func (k *Kernel) After(d Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now.Add(d), fn)
+}
+
+// Step fires the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was fired.
+func (k *Kernel) Step() bool {
+	for len(k.heap) > 0 {
+		t := heap.Pop(&k.heap).(*Timer)
+		if t.stopped {
+			continue
+		}
+		k.now = t.when
+		t.fired = true
+		k.processed++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain and returns the number fired.
+func (k *Kernel) Run() uint64 {
+	start := k.processed
+	for k.Step() {
+	}
+	return k.processed - start
+}
+
+// RunUntil fires every event scheduled at or before t, then advances the
+// clock to t. It returns the number of events fired.
+func (k *Kernel) RunUntil(t Time) uint64 {
+	start := k.processed
+	for {
+		next, ok := k.peek()
+		if !ok || next > t {
+			break
+		}
+		k.Step()
+	}
+	if t > k.now {
+		k.now = t
+	}
+	return k.processed - start
+}
+
+// RunFor advances the clock by d, firing all events in the window.
+func (k *Kernel) RunFor(d Duration) uint64 { return k.RunUntil(k.now.Add(d)) }
+
+// RunWhile fires events while cond returns true and events remain. It is
+// the main loop used by experiment runners that wait for a condition (for
+// example "device ready") without a hard deadline.
+func (k *Kernel) RunWhile(cond func() bool) uint64 {
+	start := k.processed
+	for cond() && k.Step() {
+	}
+	return k.processed - start
+}
+
+func (k *Kernel) peek() (Time, bool) {
+	for len(k.heap) > 0 {
+		if k.heap[0].stopped {
+			heap.Pop(&k.heap)
+			continue
+		}
+		return k.heap[0].when, true
+	}
+	return 0, false
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelFiresInTimeOrder(t *testing.T) {
+	k := New()
+	var got []Time
+	for _, d := range []Duration{50, 10, 30, 20, 40} {
+		d := d
+		k.After(d, func() { got = append(got, k.Now()) })
+	}
+	if n := k.Run(); n != 5 {
+		t.Fatalf("Run fired %d events, want 5", n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("events out of order: %v", got)
+		}
+	}
+	if got[0] != Time(10) || got[4] != Time(50) {
+		t.Fatalf("unexpected firing times: %v", got)
+	}
+}
+
+func TestKernelSameInstantFIFO(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Time(100), func() { order = append(order, i) })
+	}
+	k.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestKernelPastEventsRunNow(t *testing.T) {
+	k := New()
+	k.After(100, func() {})
+	k.Run()
+	fired := false
+	k.At(Time(5), func() { fired = true }) // in the past
+	if k.heap[0].when != k.Now() {
+		t.Fatalf("past event scheduled at %v, want now %v", k.heap[0].when, k.Now())
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("past event never fired")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	k := New()
+	fired := false
+	tm := k.After(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	k.Run()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+	if !tm.Stopped() || tm.Fired() {
+		t.Fatal("stopped timer state wrong")
+	}
+}
+
+func TestStopAfterFire(t *testing.T) {
+	k := New()
+	tm := k.After(1, func() {})
+	k.Run()
+	if tm.Stop() {
+		t.Fatal("Stop after firing returned true")
+	}
+	if !tm.Fired() {
+		t.Fatal("Fired not set")
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := New()
+	fired := 0
+	k.After(10, func() { fired++ })
+	k.After(20, func() { fired++ })
+	k.After(30, func() { fired++ })
+	if n := k.RunUntil(Time(20)); n != 2 {
+		t.Fatalf("RunUntil fired %d, want 2", n)
+	}
+	if k.Now() != Time(20) {
+		t.Fatalf("clock at %v, want 20", k.Now())
+	}
+	if fired != 2 {
+		t.Fatalf("fired=%d, want 2", fired)
+	}
+	k.RunFor(Duration(15))
+	if fired != 3 || k.Now() != Time(35) {
+		t.Fatalf("after RunFor: fired=%d now=%v", fired, k.Now())
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	k := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	k.RunWhile(func() bool { return count < 10 })
+	if count != 10 {
+		t.Fatalf("RunWhile stopped at count=%d, want 10", count)
+	}
+}
+
+func TestPendingExcludesStopped(t *testing.T) {
+	k := New()
+	t1 := k.After(10, func() {})
+	k.After(20, func() {})
+	if k.Pending() != 2 {
+		t.Fatalf("Pending=%d, want 2", k.Pending())
+	}
+	t1.Stop()
+	if k.Pending() != 1 {
+		t.Fatalf("Pending=%d after stop, want 1", k.Pending())
+	}
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	New().At(0, nil)
+}
+
+func TestNestedScheduling(t *testing.T) {
+	k := New()
+	var seq []string
+	k.After(10, func() {
+		seq = append(seq, "a")
+		k.After(5, func() { seq = append(seq, "c") })
+		k.After(1, func() { seq = append(seq, "b") })
+	})
+	k.Run()
+	if len(seq) != 3 || seq[0] != "a" || seq[1] != "b" || seq[2] != "c" {
+		t.Fatalf("nested order wrong: %v", seq)
+	}
+}
+
+// Property: any batch of randomly timed events fires in sorted order.
+func TestQuickEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := New()
+		var fired []Time
+		for _, d := range delays {
+			k.After(Duration(d), func() { fired = append(fired, k.Now()) })
+		}
+		k.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	k := New()
+	for i := 0; i < 7; i++ {
+		k.After(Duration(i), func() {})
+	}
+	k.Run()
+	if k.Processed() != 7 {
+		t.Fatalf("Processed=%d, want 7", k.Processed())
+	}
+}

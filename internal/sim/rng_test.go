@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	root := NewRNG(7)
+	a := root.Fork("component-a")
+	b := root.Fork("component-b")
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("forked streams start identically")
+	}
+	// Forking with the same label from the same state reproduces.
+	r1, r2 := NewRNG(7), NewRNG(7)
+	f1, f2 := r1.Fork("x"), r2.Fork("x")
+	for i := 0; i < 100; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatal("same-label forks differ")
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	r := NewRNG(5)
+	sawLo, sawHi := false, false
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(3, 6)
+		if v < 3 || v > 6 {
+			t.Fatalf("IntRange(3,6) = %d", v)
+		}
+		if v == 3 {
+			sawLo = true
+		}
+		if v == 6 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("IntRange never hit its bounds")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestProbExtremes(t *testing.T) {
+	r := NewRNG(11)
+	for i := 0; i < 100; i++ {
+		if r.Prob(0) {
+			t.Fatal("Prob(0) returned true")
+		}
+		if !r.Prob(1) {
+			t.Fatal("Prob(1) returned false")
+		}
+	}
+}
+
+func TestProbMean(t *testing.T) {
+	r := NewRNG(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Prob(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Prob(0.3) frequency = %.3f", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(17)
+	for _, lambda := range []float64{0.5, 3, 20, 200} {
+		sum := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(lambda)
+		}
+		mean := float64(sum) / n
+		if math.Abs(mean-lambda) > lambda*0.05+0.05 {
+			t.Fatalf("Poisson(%g) mean = %.2f", lambda, mean)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	r := NewRNG(19)
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Fatal("Poisson of non-positive lambda should be 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(23)
+	var sum, sumsq float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Norm(10, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-10) > 0.1 || math.Abs(sd-2) > 0.1 {
+		t.Fatalf("Norm(10,2): mean=%.3f sd=%.3f", mean, sd)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(29)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.ExpMean(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.2 {
+		t.Fatalf("ExpMean(5) mean = %.3f", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(31)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestDurationRange(t *testing.T) {
+	r := NewRNG(37)
+	for i := 0; i < 1000; i++ {
+		d := r.DurationRange(Millisecond, 5*Millisecond)
+		if d < Millisecond || d > 5*Millisecond {
+			t.Fatalf("DurationRange out of bounds: %v", d)
+		}
+	}
+}
+
+// Property: Int63n(n) stays within [0, n) for arbitrary positive n.
+func TestQuickInt63nBounds(t *testing.T) {
+	r := NewRNG(41)
+	f := func(n int64) bool {
+		if n <= 0 {
+			n = -n + 1
+		}
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := NewRNG(43)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make(map[int]bool)
+	for _, v := range vals {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Shuffle lost elements: %v", vals)
+	}
+}

@@ -1,0 +1,76 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every other component of the platform runs on: a virtual nanosecond
+// clock, a cancellable timer queue, and a seeded random number generator
+// with forkable independent streams.
+//
+// All timing in the repository (PSU discharge, flash program latencies,
+// host queueing, fault scheduling) is expressed in sim.Time/sim.Duration so
+// that experiments are reproducible and run decoupled from wall-clock time.
+package sim
+
+import "fmt"
+
+// Time is an absolute instant on the simulated clock, in nanoseconds since
+// the start of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration int64
+
+// Common durations, mirroring package time.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+)
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t as a floating-point number of seconds since time zero.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns t as a floating-point number of milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the instant as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis returns the duration as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// Micros returns the duration as a floating-point number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// String formats the duration using the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d < 0:
+		return "-" + (-d).String()
+	case d < Microsecond:
+		return fmt.Sprintf("%dns", int64(d))
+	case d < Millisecond:
+		return fmt.Sprintf("%.1fus", d.Micros())
+	case d < Second:
+		return fmt.Sprintf("%.2fms", d.Millis())
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Seconds converts a floating-point number of seconds into a Duration.
+func Seconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// Millis converts a floating-point number of milliseconds into a Duration.
+func Millis(ms float64) Duration { return Duration(ms * float64(Millisecond)) }
+
+// Micros converts a floating-point number of microseconds into a Duration.
+func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }

@@ -1,0 +1,56 @@
+package sim
+
+import "testing"
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(3 * Second)
+	if t1.Seconds() != 3 {
+		t.Fatalf("Seconds = %g, want 3", t1.Seconds())
+	}
+	if d := t1.Sub(t0); d != 3*Second {
+		t.Fatalf("Sub = %v, want 3s", d)
+	}
+	if t1.Millis() != 3000 {
+		t.Fatalf("Millis = %g", t1.Millis())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{2500, "2.5us"},
+		{3 * Millisecond, "3.00ms"},
+		{1500 * Millisecond, "1.500s"},
+		{-2500, "-2.5us"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if Millis(2) != 2*Millisecond {
+		t.Fatal("Millis conversion wrong")
+	}
+	if Micros(7) != 7*Microsecond {
+		t.Fatal("Micros conversion wrong")
+	}
+	if (2 * Millisecond).Micros() != 2000 {
+		t.Fatal("Micros() wrong")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(1500 * Millisecond).String(); got != "1.500000s" {
+		t.Fatalf("Time.String = %q", got)
+	}
+}

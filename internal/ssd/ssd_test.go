@@ -1,0 +1,403 @@
+package ssd
+
+import (
+	"testing"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/flash"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+)
+
+// smallProfile keeps FTL maps tiny for device-level tests.
+func smallProfile() Profile {
+	p := ProfileA()
+	p.CapacityGB = 1
+	p.Channels = 4
+	p.Dies = 4
+	return p.Normalize()
+}
+
+type rig struct {
+	k   *sim.Kernel
+	psu *power.PSU
+	dev *Device
+}
+
+func newRig(t *testing.T, prof Profile) *rig {
+	t.Helper()
+	k := sim.New()
+	psu, err := power.New(k, power.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := New(k, sim.NewRNG(7), prof, psu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, psu: psu, dev: dev}
+}
+
+func (r *rig) write(t *testing.T, lpn addr.LPN, data content.Data) error {
+	t.Helper()
+	var out error
+	done := false
+	r.dev.Submit(blockdev.OpWrite, lpn, data.Pages(), data, func(err error, _ content.Data) {
+		out = err
+		done = true
+	})
+	r.k.RunWhile(func() bool { return !done })
+	if !done {
+		t.Fatal("write never completed")
+	}
+	return out
+}
+
+func (r *rig) read(t *testing.T, lpn addr.LPN, pages int) (content.Data, error) {
+	t.Helper()
+	var out content.Data
+	var rerr error
+	done := false
+	r.dev.Submit(blockdev.OpRead, lpn, pages, content.Data{}, func(err error, d content.Data) {
+		out, rerr = d, err
+		done = true
+	})
+	r.k.RunWhile(func() bool { return !done })
+	if !done {
+		t.Fatal("read never completed")
+	}
+	return out, rerr
+}
+
+func (r *rig) flush(t *testing.T) {
+	t.Helper()
+	done := false
+	r.dev.Submit(blockdev.OpFlush, 0, 0, content.Data{}, func(error, content.Data) { done = true })
+	r.k.RunWhile(func() bool { return !done })
+	if !done {
+		t.Fatal("flush never completed")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	r := newRig(t, smallProfile())
+	payload := content.Random(sim.NewRNG(1), 64)
+	if err := r.write(t, 1000, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.read(t, 1000, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(payload) {
+		t.Fatal("read differs from written (cache path)")
+	}
+	// After an explicit flush the data must come back from flash too.
+	r.flush(t)
+	if r.dev.DirtyCachePages() != 0 {
+		t.Fatalf("dirty=%d after flush", r.dev.DirtyCachePages())
+	}
+	got, err = r.read(t, 1000, 64)
+	if err != nil || !got.Equal(payload) {
+		t.Fatal("read differs from written (flash path)")
+	}
+}
+
+func TestUnmappedReadsZero(t *testing.T) {
+	r := newRig(t, smallProfile())
+	got, err := r.read(t, 5000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(content.Zeroes(8)) {
+		t.Fatal("unwritten range not zero")
+	}
+}
+
+func TestWriteThroughWhenCacheDisabled(t *testing.T) {
+	r := newRig(t, smallProfile().WithCacheDisabled())
+	payload := content.Random(sim.NewRNG(2), 16)
+	if err := r.write(t, 10, payload); err != nil {
+		t.Fatal(err)
+	}
+	// ACK means durable: the chip already holds every page.
+	if r.dev.Stats().PagesProgrammed != 16 {
+		t.Fatalf("programmed=%d at ACK", r.dev.Stats().PagesProgrammed)
+	}
+	got, err := r.read(t, 10, 16)
+	if err != nil || !got.Equal(payload) {
+		t.Fatal("write-through round trip failed")
+	}
+}
+
+func TestBackgroundFlusherDrains(t *testing.T) {
+	r := newRig(t, smallProfile())
+	r.write(t, 0, content.Random(sim.NewRNG(3), 256))
+	if r.dev.DirtyCachePages() == 0 {
+		t.Fatal("no dirty pages after a cached write")
+	}
+	r.k.RunFor(2 * sim.Second) // well past FlushIdleAge
+	if r.dev.DirtyCachePages() != 0 {
+		t.Fatalf("dirty=%d after idle period", r.dev.DirtyCachePages())
+	}
+}
+
+func TestPowerCycleCleanRecovery(t *testing.T) {
+	r := newRig(t, smallProfile())
+	payload := content.Random(sim.NewRNG(4), 32)
+	r.write(t, 100, payload)
+	r.flush(t)
+	r.k.RunFor(200 * sim.Millisecond) // let the journal commit
+
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	if r.dev.State() != StateDead {
+		t.Fatalf("state = %v after discharge", r.dev.State())
+	}
+	r.psu.PowerOn()
+	r.k.RunFor(500 * sim.Millisecond)
+	if r.dev.State() != StateReady {
+		t.Fatalf("state = %v after restore", r.dev.State())
+	}
+	got, err := r.read(t, 100, 32)
+	if err != nil || !got.Equal(payload) {
+		t.Fatal("durable data lost across a clean power cycle")
+	}
+}
+
+func TestUnavailableFailsFast(t *testing.T) {
+	r := newRig(t, smallProfile())
+	r.psu.PowerOff()
+	r.k.RunFor(60 * sim.Millisecond) // past brownout
+	var gotErr error
+	done := false
+	r.dev.Submit(blockdev.OpRead, 0, 1, content.Data{}, func(err error, _ content.Data) {
+		gotErr = err
+		done = true
+	})
+	r.k.RunFor(10 * sim.Millisecond)
+	if !done || gotErr != ErrUnavailable {
+		t.Fatalf("submit while down: done=%v err=%v", done, gotErr)
+	}
+}
+
+func TestOutstandingFailOnBrownout(t *testing.T) {
+	r := newRig(t, smallProfile())
+	var gotErr error
+	done := false
+	// A large write whose transfer outlives the cut.
+	payload := content.Random(sim.NewRNG(5), 256)
+	r.dev.Submit(blockdev.OpWrite, 0, 256, payload, func(err error, _ content.Data) {
+		gotErr = err
+		done = true
+	})
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	if !done {
+		t.Fatal("outstanding command never resolved")
+	}
+	if gotErr == nil {
+		// The transfer may have completed within the 40 ms brownout
+		// window; that is legal. Force the interesting case instead.
+		t.Skip("command completed before brownout; covered by core tests")
+	}
+	if gotErr != ErrUnavailable {
+		t.Fatalf("err = %v", gotErr)
+	}
+}
+
+// TestDirtyCacheLostOnPowerFail is the FWA mechanism end to end at device
+// level: ACKed data vanishes, the address reads back old content.
+func TestDirtyCacheLostOnPowerFail(t *testing.T) {
+	r := newRig(t, smallProfile())
+	old := content.Random(sim.NewRNG(6), 8)
+	r.write(t, 500, old)
+	r.flush(t)
+	r.k.RunFor(500 * sim.Millisecond) // commit mapping
+
+	fresh := content.Random(sim.NewRNG(7), 8)
+	if err := r.write(t, 500, fresh); err != nil {
+		t.Fatal(err)
+	}
+	// ACK received; cut immediately, before any flush tick.
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	r.psu.PowerOn()
+	r.k.RunFor(500 * sim.Millisecond)
+
+	got, err := r.read(t, 500, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(fresh) {
+		t.Fatal("acknowledged write survived; expected cache loss")
+	}
+	if !got.Equal(old) {
+		t.Fatal("address holds neither old nor new content")
+	}
+	if r.dev.Stats().DirtyPagesLost == 0 {
+		t.Fatal("no dirty pages recorded lost")
+	}
+}
+
+// TestSuperCapPreservesDirtyData: with power-loss protection the same
+// scenario loses nothing.
+func TestSuperCapPreservesDirtyData(t *testing.T) {
+	r := newRig(t, smallProfile().WithSuperCap())
+	fresh := content.Random(sim.NewRNG(8), 8)
+	if err := r.write(t, 500, fresh); err != nil {
+		t.Fatal(err)
+	}
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	r.psu.PowerOn()
+	r.k.RunFor(500 * sim.Millisecond)
+
+	got, err := r.read(t, 500, 8)
+	if err != nil || !got.Equal(fresh) {
+		t.Fatal("supercap drive lost acknowledged data")
+	}
+	if r.dev.Stats().PanicFlushes != 1 {
+		t.Fatalf("panic flushes = %d", r.dev.Stats().PanicFlushes)
+	}
+}
+
+func TestReadyNotification(t *testing.T) {
+	r := newRig(t, smallProfile())
+	readyCount := 0
+	r.dev.NotifyReady(func() { readyCount++ })
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	r.psu.PowerOn()
+	r.k.RunFor(500 * sim.Millisecond)
+	if readyCount != 1 {
+		t.Fatalf("ready fired %d times", readyCount)
+	}
+}
+
+func TestGCUnderSteadyOverwrites(t *testing.T) {
+	p := smallProfile()
+	p.CapacityGB = 1
+	r := newRig(t, p)
+	rng := sim.NewRNG(9)
+	// Overwrite a small region repeatedly: roughly 4x the drive's spare
+	// blocks worth of churn, forcing collections.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 40; i++ {
+			if err := r.write(t, addr.LPN(i*64), content.Random(rng, 64)); err != nil {
+				t.Fatalf("round %d write %d: %v", round, i, err)
+			}
+		}
+		r.k.RunFor(time500())
+	}
+	r.flush(t)
+	r.k.RunFor(2 * sim.Second)
+	if r.dev.FTL().Stats().GCCollections == 0 {
+		t.Skip("churn did not reach GC pressure on this geometry")
+	}
+}
+
+func time500() sim.Duration { return 500 * sim.Millisecond }
+
+func TestProfilesTableI(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 3 {
+		t.Fatalf("profiles = %d, want 3 (Table I)", len(profs))
+	}
+	wantCells := []flash.CellKind{flash.MLC, flash.TLC, flash.MLC}
+	wantSizes := []int{256, 120, 120}
+	for i, p := range profs {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Name, err)
+		}
+		if p.Cell != wantCells[i] || p.CapacityGB != wantSizes[i] {
+			t.Errorf("profile %s = %v/%dGB", p.Name, p.Cell, p.CapacityGB)
+		}
+		if !p.HasCache {
+			t.Errorf("profile %s should have an internal cache", p.Name)
+		}
+		if p.String() == "" {
+			t.Error("empty profile string")
+		}
+	}
+	if ProfileB().ECC.Scheme != "LDPC" {
+		t.Error("SSD B should use LDPC (Table I)")
+	}
+	if _, ok := ProfileByName("B"); !ok {
+		t.Error("ProfileByName failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile found")
+	}
+}
+
+func TestProfileDerivations(t *testing.T) {
+	p := ProfileA()
+	if p.UserPages() != int64(256)<<30>>12 {
+		t.Fatal("UserPages wrong")
+	}
+	if p.Geometry().CapacityBytes() < int64(256)<<30 {
+		t.Fatal("geometry smaller than capacity")
+	}
+	if p.CachePages() != 32<<20>>12 {
+		t.Fatal("CachePages wrong")
+	}
+	if p.WithCacheDisabled().CachePages() != 0 {
+		t.Fatal("cache-disabled pages wrong")
+	}
+	nc := p.WithCacheDisabled()
+	if nc.HasCache || nc.Name == p.Name {
+		t.Fatal("WithCacheDisabled wrong")
+	}
+	sc := p.WithSuperCap()
+	if !sc.SuperCap || sc.Name == p.Name {
+		t.Fatal("WithSuperCap wrong")
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	p := ProfileA()
+	p.Name = ""
+	if p.Validate() == nil {
+		t.Fatal("nameless profile accepted")
+	}
+	p = ProfileA()
+	p.DieVolts = 4.9
+	if p.Validate() == nil {
+		t.Fatal("die above brownout accepted")
+	}
+	p = ProfileA()
+	p.CapacityGB = 0
+	if p.Validate() == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestUncorrectableAsErrorMode(t *testing.T) {
+	p := smallProfile()
+	p.BaseBER = 0.05 // every flash read uncorrectable
+	p.UncorrectableAsError = true
+	r := newRig(t, p)
+	payload := content.Random(sim.NewRNG(10), 4)
+	r.write(t, 0, payload)
+	r.flush(t)
+	// Drop the cache copy so the read must hit flash.
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	r.psu.PowerOn()
+	r.k.RunFor(500 * sim.Millisecond)
+	_, err := r.read(t, 0, 4)
+	if err != ErrUncorrectable {
+		t.Fatalf("err = %v, want ErrUncorrectable", err)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, s := range []State{StateReady, StateUnavailable, StateDead, StateRecovering} {
+		if s.String() == "" {
+			t.Fatal("state string empty")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package powerfail is a simulation-backed reproduction of "Investigating
+// Power Outage Effects on Reliability of Solid-State Drives" (Ahmadian et
+// al., DATE 2018): a power-fault injection and failure detection platform
+// for SSDs.
+//
+// The paper's hardware — an Arduino-controlled ATX supply whose slow
+// capacitive discharge the drive under test experiences — and the drives
+// themselves are modelled in detail (see DESIGN.md); the software part of
+// the platform (fault scheduler, IO generator with checksummed data
+// packets, blktrace/btt-based analyzer, and the data-failure / FWA /
+// IO-error taxonomy) is implemented as published.
+//
+// Quick start:
+//
+//	rep, err := powerfail.Run(powerfail.Options{Seed: 1},
+//	    powerfail.Experiment{
+//	        Name:             "demo",
+//	        Workload:         powerfail.DefaultWorkload(),
+//	        Faults:           50,
+//	        RequestsPerFault: 16,
+//	    })
+//
+// The Experiments catalog reproduces every figure of the paper's
+// evaluation; cmd/sweep drives it from the command line.
+package powerfail
+
+import (
+	"powerfail/internal/blockdev"
+	"powerfail/internal/core"
+	"powerfail/internal/flash"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+	"powerfail/internal/workload"
+)
+
+// Re-exported types: the public API fronts the internal packages so that
+// downstream users never import powerfail/internal/... directly.
+type (
+	// Options configures the platform (seed, drive profile, host block
+	// layer, PSU electrical model, closed-loop concurrency).
+	Options = core.Options
+	// Experiment describes one fault-injection experiment.
+	Experiment = core.ExperimentSpec
+	// Report is the outcome of an experiment.
+	Report = core.Report
+	// Platform is a fully wired test platform instance.
+	Platform = core.Platform
+	// Runner executes one experiment on a platform.
+	Runner = core.Runner
+	// FailureKind classifies a request after verification.
+	FailureKind = core.FailureKind
+	// FaultOutcome is the per-fault failure breakdown.
+	FaultOutcome = core.FaultOutcome
+
+	// Workload describes an IO stream (sizes, mix, pattern, sequences).
+	Workload = workload.Spec
+	// SeqMode selects RAR/RAW/WAR/WAW paired accesses.
+	SeqMode = workload.SeqMode
+	// Pattern selects random or sequential addressing.
+	Pattern = workload.Pattern
+
+	// SSDProfile describes a drive model (Table I row).
+	SSDProfile = ssd.Profile
+	// PSUConfig is the supply's electrical model.
+	PSUConfig = power.Config
+	// HostConfig is the block-layer configuration.
+	HostConfig = blockdev.Config
+	// CellKind is the flash cell technology (SLC/MLC/TLC).
+	CellKind = flash.CellKind
+
+	// Duration and Time are simulated-clock units.
+	Duration = sim.Duration
+	Time     = sim.Time
+)
+
+// Failure kinds (Section III-B taxonomy).
+const (
+	FailNone    = core.FailNone
+	FailData    = core.FailData
+	FailFWA     = core.FailFWA
+	FailIOError = core.FailIOError
+)
+
+// Access patterns and sequence modes.
+const (
+	RandomPattern     = workload.Random
+	SequentialPattern = workload.Sequential
+	SeqNone           = workload.SeqNone
+	RAR               = workload.RAR
+	RAW               = workload.RAW
+	WAR               = workload.WAR
+	WAW               = workload.WAW
+)
+
+// Cell technologies.
+const (
+	SLC = flash.SLC
+	MLC = flash.MLC
+	TLC = flash.TLC
+)
+
+// Simulated time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewPlatform builds a wired platform (hardware part + device under test +
+// host block layer) without running anything.
+func NewPlatform(opts Options) (*Platform, error) { return core.NewPlatform(opts) }
+
+// NewRunner prepares an experiment on a platform.
+func NewRunner(p *Platform, spec Experiment) (*Runner, error) { return core.NewRunner(p, spec) }
+
+// Run builds a platform and executes one experiment.
+func Run(opts Options, spec Experiment) (*Report, error) { return core.RunExperiment(opts, spec) }
+
+// ProfileA, ProfileB and ProfileC return the Table I drive models.
+func ProfileA() SSDProfile { return ssd.ProfileA() }
+
+// ProfileB returns the TLC drive model of Table I.
+func ProfileB() SSDProfile { return ssd.ProfileB() }
+
+// ProfileC returns the second MLC drive model of Table I.
+func ProfileC() SSDProfile { return ssd.ProfileC() }
+
+// Profiles returns all stock drive models.
+func Profiles() []SSDProfile { return ssd.Profiles() }
+
+// ProfileByName finds a stock profile ("A", "B", "C").
+func ProfileByName(name string) (SSDProfile, bool) { return ssd.ProfileByName(name) }
+
+// DefaultWorkload is the paper's base workload: uniform random writes,
+// 4 KiB-1 MiB, 16 GB working set.
+func DefaultWorkload() Workload { return workload.DefaultSpec() }
+
+// DefaultPSU returns the Fig. 4-calibrated supply model.
+func DefaultPSU() PSUConfig { return power.DefaultConfig() }

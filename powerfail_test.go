@@ -1,0 +1,117 @@
+package powerfail_test
+
+import (
+	"testing"
+
+	"powerfail"
+	"powerfail/internal/sim"
+)
+
+func TestPublicAPIRun(t *testing.T) {
+	prof := powerfail.ProfileA()
+	prof.CapacityGB = 8
+	w := powerfail.DefaultWorkload()
+	w.WSSBytes = 1 << 30 // must fit the shrunken test drive
+	rep, err := powerfail.Run(
+		powerfail.Options{Seed: 5, Profile: prof},
+		powerfail.Experiment{
+			Name:             "api",
+			Workload:         w,
+			Faults:           5,
+			RequestsPerFault: 10,
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults != 5 || rep.Requests == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	if len(powerfail.Profiles()) != 3 {
+		t.Fatal("expected the three Table I drives")
+	}
+	if powerfail.ProfileB().Cell != powerfail.TLC {
+		t.Fatal("SSD B should be TLC")
+	}
+	if _, ok := powerfail.ProfileByName("C"); !ok {
+		t.Fatal("ProfileByName failed")
+	}
+}
+
+func TestCatalogCoverage(t *testing.T) {
+	figures := []string{"tablei", "window", "fig5", "fig6", "seqrand", "fig7", "fig8", "fig9", "ablation"}
+	total := 0
+	for _, fig := range figures {
+		items, err := powerfail.ItemsFor(fig, 0.01)
+		if err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if len(items) == 0 {
+			t.Fatalf("%s: empty series", fig)
+		}
+		for _, it := range items {
+			if err := it.Spec.Validate(); err != nil {
+				t.Fatalf("%s/%s: %v", fig, it.Label, err)
+			}
+			if it.Figure != fig {
+				t.Fatalf("%s/%s: figure tag %q", fig, it.Label, it.Figure)
+			}
+		}
+		total += len(items)
+	}
+	all, err := powerfail.ItemsFor("all", 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != total {
+		t.Fatalf("all = %d items, sum of figures = %d", len(all), total)
+	}
+	if _, err := powerfail.ItemsFor("nope", 1); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestDischargeCurve(t *testing.T) {
+	curve, brownout := powerfail.DischargeCurve(true, 10*sim.Millisecond, sim.Second)
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	if curve[0].V != 5.0 {
+		t.Fatalf("V(0) = %g", curve[0].V)
+	}
+	ms := brownout.Millis()
+	if ms < 30 || ms > 50 {
+		t.Fatalf("brownout at %.0f ms, want ~40", ms)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].V > curve[i-1].V {
+			t.Fatal("discharge curve not monotonic")
+		}
+	}
+	unloaded, _ := powerfail.DischargeCurve(false, 10*sim.Millisecond, sim.Second)
+	if unloaded[len(unloaded)-1].V <= curve[len(curve)-1].V {
+		t.Fatal("unloaded rail should sit higher than loaded at equal times")
+	}
+}
+
+func TestRunCatalogSmall(t *testing.T) {
+	items, err := powerfail.ItemsFor("seqrand", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	results := powerfail.RunCatalog(items, func(powerfail.CatalogResult) { calls++ })
+	if len(results) != len(items) || calls != len(items) {
+		t.Fatalf("results=%d calls=%d items=%d", len(results), calls, len(items))
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Item.Label, res.Err)
+		}
+		if res.Report.Faults == 0 {
+			t.Fatalf("%s: no faults ran", res.Item.Label)
+		}
+	}
+}
