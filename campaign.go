@@ -1,0 +1,328 @@
+package powerfail
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"powerfail/internal/core"
+	"powerfail/internal/sim"
+)
+
+// A Campaign executes a set of catalog items — typically one of the
+// paper's figures, or the whole catalog — over a bounded pool of workers.
+// Each item builds its own independent single-threaded Platform, so
+// cross-experiment parallelism preserves per-experiment determinism:
+// results are identical whatever the parallelism or scheduling order.
+//
+//	c := powerfail.NewCampaign(powerfail.Fig5Items(0.2),
+//	    powerfail.WithParallelism(8),
+//	    powerfail.WithProgress(func(res powerfail.CatalogResult) {
+//	        log.Printf("done %s/%s", res.Item.Figure, res.Item.Label)
+//	    }))
+//	out, err := c.Run(ctx)
+//
+// Campaigns are single-use: build a new one per Run call.
+type Campaign struct {
+	items []CatalogItem
+	cfg   campaignConfig
+}
+
+type campaignConfig struct {
+	parallelism int
+	progress    func(CatalogResult)
+	baseSeed    uint64
+	reseed      bool
+	failFast    bool
+}
+
+// CampaignOption configures a Campaign.
+type CampaignOption func(*campaignConfig)
+
+// WithParallelism sets the number of worker goroutines (default 1, the
+// sequential behaviour of the old RunCatalog loop). Values above the item
+// count are clamped; values below 1 select 1.
+func WithParallelism(n int) CampaignOption {
+	return func(c *campaignConfig) { c.parallelism = n }
+}
+
+// WithProgress streams each CatalogResult to fn as its experiment
+// completes. Calls are serialized on the Run goroutine and arrive in
+// completion order, which under parallelism differs from item order; the
+// returned CampaignResult is always in item order.
+func WithProgress(fn func(CatalogResult)) CampaignOption {
+	return func(c *campaignConfig) { c.progress = fn }
+}
+
+// WithBaseSeed overrides every item's Options.Seed with a seed derived
+// from (s, item index) by a splitmix64-style mix. Derivation depends only
+// on the index, never on scheduling, so a (BaseSeed, items) pair fully
+// determines the campaign's reports at any parallelism.
+func WithBaseSeed(s uint64) CampaignOption {
+	return func(c *campaignConfig) { c.baseSeed, c.reseed = s, true }
+}
+
+// WithFailFast cancels the remaining items after the first experiment
+// error and makes Run return that error. Without it, Run records item
+// errors in the per-item results and keeps going.
+func WithFailFast() CampaignOption {
+	return func(c *campaignConfig) { c.failFast = true }
+}
+
+// NewCampaign plans a campaign over items. The item slice is copied, so
+// later mutation of the caller's slice does not affect the campaign.
+func NewCampaign(items []CatalogItem, opts ...CampaignOption) *Campaign {
+	c := &Campaign{items: append([]CatalogItem(nil), items...)}
+	c.cfg.parallelism = 1
+	for _, o := range opts {
+		o(&c.cfg)
+	}
+	if c.cfg.reseed {
+		for i := range c.items {
+			c.items[i].Opts.Seed = deriveSeed(c.cfg.baseSeed, i)
+		}
+	}
+	return c
+}
+
+// deriveSeed mixes a base seed and an item index into an experiment seed
+// (splitmix64 finalizer over base + (i+1)·golden-gamma).
+func deriveSeed(base uint64, i int) uint64 {
+	z := base + uint64(i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stat summarizes a sample of per-item values: mean with a 95% confidence
+// half-width (normal approximation, 1.96·s/√n), plus the extremes.
+type Stat struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	// CI95 is the 95% confidence half-width of the mean; the interval is
+	// Mean ± CI95. Zero when fewer than two samples exist.
+	CI95 float64 `json:"ci95"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func newStat(samples []float64) Stat {
+	s := Stat{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = samples[0], samples[0]
+	var sum float64
+	for _, v := range samples {
+		sum += v
+		s.Min = math.Min(s.Min, v)
+		s.Max = math.Max(s.Max, v)
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N < 2 {
+		return s
+	}
+	var ss float64
+	for _, v := range samples {
+		d := v - s.Mean
+		ss += d * d
+	}
+	s.CI95 = 1.96 * math.Sqrt(ss/float64(s.N-1)) / math.Sqrt(float64(s.N))
+	return s
+}
+
+// FigureSummary aggregates the completed experiments of one figure.
+type FigureSummary struct {
+	Figure    string `json:"figure"`
+	Items     int    `json:"items"`
+	Completed int    `json:"completed"`
+
+	Faults       int `json:"faults"`
+	DataFailures int `json:"data_failures"`
+	FWA          int `json:"fwa"`
+	IOErrors     int `json:"io_errors"`
+
+	// LossPerFault summarizes the per-item data-loss-per-fault rates
+	// (the y-axis of most of the paper's figures).
+	LossPerFault Stat `json:"loss_per_fault"`
+
+	SimTime sim.Duration `json:"sim_ns"`
+}
+
+// CampaignResult is the outcome of Campaign.Run: every item's result in
+// item order, plus per-figure aggregation and totals.
+type CampaignResult struct {
+	// Results holds one entry per item, in item order regardless of
+	// scheduling. Items the campaign never ran (cancellation, fail-fast)
+	// carry the cancellation error and a nil report.
+	Results []CatalogResult `json:"results"`
+	// Figures aggregates completed results per figure, in first-appearance
+	// item order.
+	Figures []FigureSummary `json:"figures"`
+
+	Items     int `json:"items"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+
+	// WallTime is real elapsed time; SimTime sums the simulated duration
+	// of completed experiments (the speed-up ratio of the platform).
+	WallTime time.Duration `json:"wall_ns"`
+	SimTime  sim.Duration  `json:"sim_ns"`
+}
+
+// Run executes the campaign under ctx and returns when every item has
+// either completed or been cancelled. Experiment errors are recorded per
+// item and do not abort the campaign unless WithFailFast was given.
+// Cancelling ctx stops in-flight experiments at their next poll point and
+// marks unstarted items with the context's error; the partial
+// CampaignResult is returned together with ctx.Err().
+func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	workers := c.cfg.parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(c.items) {
+		workers = len(c.items)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type indexed struct {
+		idx int
+		res CatalogResult
+	}
+	idxCh := make(chan int)
+	resCh := make(chan indexed)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range idxCh {
+				it := c.items[idx]
+				res := CatalogResult{Item: it}
+				if err := runCtx.Err(); err != nil {
+					res.Err = err
+				} else {
+					res.Report, res.Err = core.RunExperiment(runCtx, it.Opts, it.Spec)
+				}
+				resCh <- indexed{idx, res}
+			}
+		}()
+	}
+	go func() {
+		defer close(idxCh)
+		for i := range c.items {
+			idxCh <- i
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	out := &CampaignResult{
+		Results: make([]CatalogResult, len(c.items)),
+		Items:   len(c.items),
+	}
+	var firstErr error
+	for r := range resCh {
+		out.Results[r.idx] = r.res
+		if r.res.Err != nil && firstErr == nil && !isCancellation(r.res.Err) {
+			firstErr = r.res.Err
+			if c.cfg.failFast {
+				cancel()
+			}
+		}
+		if c.cfg.progress != nil {
+			c.cfg.progress(r.res)
+		}
+	}
+
+	out.WallTime = time.Since(start)
+	c.aggregate(out)
+	switch {
+	case ctx.Err() != nil:
+		return out, ctx.Err()
+	case c.cfg.failFast && firstErr != nil:
+		return out, firstErr
+	default:
+		return out, nil
+	}
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// aggregate fills the totals and per-figure summaries from Results.
+func (c *Campaign) aggregate(out *CampaignResult) {
+	byFigure := map[string]*FigureSummary{}
+	samples := map[string][]float64{}
+	var order []string
+	for _, res := range out.Results {
+		fig := res.Item.Figure
+		s := byFigure[fig]
+		if s == nil {
+			s = &FigureSummary{Figure: fig}
+			byFigure[fig] = s
+			order = append(order, fig)
+		}
+		s.Items++
+		switch {
+		case res.Err == nil && res.Report != nil:
+			out.Completed++
+			s.Completed++
+			rep := res.Report
+			s.Faults += rep.Faults
+			s.DataFailures += rep.Counters.DataFailures
+			s.FWA += rep.Counters.FWA
+			s.IOErrors += rep.Counters.IOErrors
+			s.SimTime += rep.SimDuration
+			out.SimTime += rep.SimDuration
+			samples[fig] = append(samples[fig], rep.DataLossPerFault)
+		case isCancellation(res.Err):
+			out.Cancelled++
+		default:
+			out.Failed++
+		}
+	}
+	for _, fig := range order {
+		s := byFigure[fig]
+		s.LossPerFault = newStat(samples[fig])
+		out.Figures = append(out.Figures, *s)
+	}
+}
+
+// MarshalJSON renders the result with item errors as strings.
+func (r CatalogResult) MarshalJSON() ([]byte, error) {
+	var errStr string
+	if r.Err != nil {
+		errStr = r.Err.Error()
+	}
+	return json.Marshal(struct {
+		Figure string  `json:"figure"`
+		Label  string  `json:"label"`
+		X      float64 `json:"x"`
+		Seed   uint64  `json:"seed"`
+		Report *Report `json:"report,omitempty"`
+		Error  string  `json:"error,omitempty"`
+	}{
+		Figure: r.Item.Figure,
+		Label:  r.Item.Label,
+		X:      r.Item.X,
+		Seed:   r.Item.Opts.Seed,
+		Report: r.Report,
+		Error:  errStr,
+	})
+}

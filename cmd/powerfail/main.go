@@ -9,12 +9,19 @@
 //	powerfail -profile B -faults 50 -size 4096 -pattern sequential
 //	powerfail -profile A -faults 40 -sequence WAW -seed 7
 //	powerfail -profile A -faults 30 -window-delay 200ms
+//	powerfail -profile A -faults 200 -json > report.json
+//
+// Ctrl-C cancels the experiment; the partial report is still printed.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"powerfail"
@@ -38,6 +45,7 @@ func main() {
 		nocache  = flag.Bool("disable-cache", false, "disable the drive's internal write cache")
 		supercap = flag.Bool("supercap", false, "equip the drive with power-loss protection")
 		window   = flag.Duration("window-delay", -1, "inject faults this long after a request's ACK (Sec. IV-A mode)")
+		jsonOut  = flag.Bool("json", false, "print the report as JSON")
 	)
 	flag.Parse()
 
@@ -94,10 +102,30 @@ func main() {
 		spec.PostACKDelay = sim.Duration(window.Nanoseconds())
 	}
 
-	rep, err := powerfail.Run(powerfail.Options{Seed: *seed, Profile: prof}, spec)
-	if err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	rep, err := powerfail.RunContext(ctx, powerfail.Options{Seed: *seed, Profile: prof}, spec)
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Print(rep)
+	interrupted := err != nil
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted after %d/%d faults; partial report follows\n",
+			rep.Faults, spec.Faults)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Print(rep)
+	}
+	if interrupted {
+		os.Exit(130)
+	}
 }

@@ -1,22 +1,34 @@
 // Command sweep regenerates the paper's tables and figures on the
-// simulated platform. Each figure is a series of fault-injection
-// experiments; the output is a markdown table per figure with the same
-// rows/series the paper plots.
+// simulated platform. Each figure is a series of independent
+// fault-injection experiments fanned out over a campaign worker pool; the
+// output is a markdown table per figure with the same rows/series the
+// paper plots, or the machine-readable campaign JSON.
 //
 // Usage:
 //
 //	sweep -set all -scale 0.2        # every figure at 20% of paper-size
 //	sweep -set fig7 -scale 1         # Fig. 7 at full scale
+//	sweep -set fig5 -parallel 8      # fan out over 8 workers
+//	sweep -set fig5 -json            # emit the CampaignResult as JSON
 //	sweep -set fig4                  # PSU discharge curves (no faults)
 //	sweep -set tablei                # Table I inventory + per-drive runs
+//
+// Per-item reports depend only on each item's seed, never on -parallel:
+// -parallel 8 produces the same tables as -parallel 1, just sooner.
+// Ctrl-C cancels the campaign and prints the completed subset.
 //
 // Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation all.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"time"
 
 	"powerfail"
@@ -27,18 +39,30 @@ import (
 func main() {
 	set := flag.String("set", "all", "figure id to regenerate (or 'all')")
 	scale := flag.Float64("scale", 0.2, "fraction of the paper's fault counts")
+	parallel := flag.Int("parallel", 1, "worker pool size (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the CampaignResult as JSON instead of markdown")
 	verbose := flag.Bool("v", false, "print every experiment report")
 	flag.Parse()
 
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+
 	if *set == "fig4" {
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "sweep: -json is not available for fig4 (discharge curves run no campaign)")
+			os.Exit(2)
+		}
 		printFig4()
 		return
 	}
-	if *set == "tablei" || *set == "all" {
-		printTableI()
-	}
-	if *set == "fig4" || *set == "all" {
-		printFig4()
+	if !*jsonOut {
+		if *set == "tablei" || *set == "all" {
+			printTableI()
+		}
+		if *set == "all" {
+			printFig4()
+		}
 	}
 
 	items, err := powerfail.ItemsFor(*set, *scale)
@@ -46,32 +70,74 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	start := time.Now()
-	results := powerfail.RunCatalog(items, func(res powerfail.CatalogResult) {
-		if res.Err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL %s/%s: %v\n", res.Item.Figure, res.Item.Label, res.Err)
-			return
-		}
-		if *verbose {
-			fmt.Printf("%s\n", res.Report)
-		} else {
-			fmt.Fprintf(os.Stderr, "done %s/%s (%.1fs wall)\n",
-				res.Item.Figure, res.Item.Label, time.Since(start).Seconds())
-		}
-	})
 
-	byFigure := map[string][]powerfail.CatalogResult{}
-	var order []string
-	for _, res := range results {
-		if _, ok := byFigure[res.Item.Figure]; !ok {
-			order = append(order, res.Item.Figure)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	campaign := powerfail.NewCampaign(items,
+		powerfail.WithParallelism(*parallel),
+		powerfail.WithProgress(func(res powerfail.CatalogResult) {
+			switch {
+			case errors.Is(res.Err, context.Canceled):
+				// Cancelled items were never run; one summary line suffices.
+			case res.Err != nil:
+				fmt.Fprintf(os.Stderr, "FAIL %s/%s: %v\n", res.Item.Figure, res.Item.Label, res.Err)
+			case *verbose && !*jsonOut:
+				fmt.Printf("%s\n", res.Report)
+			default:
+				fmt.Fprintf(os.Stderr, "done %s/%s (%.1fs wall)\n",
+					res.Item.Figure, res.Item.Label, time.Since(start).Seconds())
+			}
+		}))
+	out, err := campaign.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v (%d/%d items completed)\n", err, out.Completed, out.Items)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		byFigure[res.Item.Figure] = append(byFigure[res.Item.Figure], res)
+	} else {
+		byFigure := map[string][]powerfail.CatalogResult{}
+		var order []string
+		for _, res := range out.Results {
+			if errors.Is(res.Err, context.Canceled) {
+				continue // only the completed subset makes the tables
+			}
+			if _, ok := byFigure[res.Item.Figure]; !ok {
+				order = append(order, res.Item.Figure)
+			}
+			byFigure[res.Item.Figure] = append(byFigure[res.Item.Figure], res)
+		}
+		for _, fig := range order {
+			printFigure(fig, byFigure[fig])
+		}
+		printSummaries(out)
 	}
-	for _, fig := range order {
-		printFigure(fig, byFigure[fig])
+	fmt.Fprintf(os.Stderr, "total wall time: %.1fs (simulated %.0fs, %d workers)\n",
+		time.Since(start).Seconds(), out.SimTime.Seconds(), *parallel)
+	switch {
+	case errors.Is(err, context.Canceled):
+		os.Exit(130)
+	case err != nil:
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "total wall time: %.1fs\n", time.Since(start).Seconds())
+}
+
+func printSummaries(out *powerfail.CampaignResult) {
+	fmt.Printf("\n## Campaign summary\n\n")
+	fmt.Printf("| figure | items | faults | data failures | FWA | IO errors | loss/fault mean ± 95%% CI |\n")
+	fmt.Printf("|---|---:|---:|---:|---:|---:|---:|\n")
+	for _, s := range out.Figures {
+		fmt.Printf("| %s | %d/%d | %d | %d | %d | %d | %.2f ± %.2f |\n",
+			s.Figure, s.Completed, s.Items, s.Faults, s.DataFailures, s.FWA, s.IOErrors,
+			s.LossPerFault.Mean, s.LossPerFault.CI95)
+	}
 }
 
 func printFigure(fig string, results []powerfail.CatalogResult) {

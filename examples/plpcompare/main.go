@@ -2,10 +2,13 @@
 // fault schedules: stock (volatile write cache), cache disabled, and with
 // a supercapacitor (power-loss protection). It demonstrates the paper's
 // findings that the cache is a major but not the only source of loss, and
-// that PLP hardware eliminates the failure classes entirely.
+// that PLP hardware eliminates the failure classes entirely — and shows
+// how hand-built catalog items run as a campaign (every variant keeps the
+// same seed, so all three drives see the same fault schedule).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,23 +27,36 @@ func main() {
 		{"supercap (PLP)", base.WithSuperCap()},
 	}
 
-	fmt.Println("Drive build vs data loss: 40 faults each, identical workload")
-	fmt.Printf("%-26s %-14s %-6s %-10s %-12s\n", "variant", "data failures", "FWA", "IO errors", "loss/fault")
-	for _, v := range variants {
-		rep, err := powerfail.Run(
-			powerfail.Options{Seed: 2024, Profile: v.prof},
-			powerfail.Experiment{
+	var items []powerfail.CatalogItem
+	for i, v := range variants {
+		items = append(items, powerfail.CatalogItem{
+			Figure: "plp",
+			Label:  v.name,
+			X:      float64(i),
+			Opts:   powerfail.Options{Seed: 2024, Profile: v.prof},
+			Spec: powerfail.Experiment{
 				Name:             v.name,
 				Workload:         powerfail.DefaultWorkload(),
 				Faults:           40,
 				RequestsPerFault: 16,
 			},
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
+		})
+	}
+
+	out, err := powerfail.NewCampaign(items,
+		powerfail.WithParallelism(len(items)),
+		powerfail.WithFailFast(),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Drive build vs data loss: 40 faults each, identical workload")
+	fmt.Printf("%-26s %-14s %-6s %-10s %-12s\n", "variant", "data failures", "FWA", "IO errors", "loss/fault")
+	for _, res := range out.Results {
+		rep := res.Report
 		fmt.Printf("%-26s %-14d %-6d %-10d %-12.2f\n",
-			v.name, rep.DataFailures(), rep.FWA(), rep.IOErrors(), rep.DataLossPerFault)
+			res.Item.Label, rep.DataFailures(), rep.FWA(), rep.IOErrors(), rep.DataLossPerFault)
 	}
 	fmt.Println("\nDisabling the cache reduces but does not eliminate losses (mapping-table")
 	fmt.Println("and in-flight program corruption persist); the supercap build loses nothing.")

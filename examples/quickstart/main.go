@@ -1,6 +1,7 @@
 // Quickstart: inject 25 power faults into the simulated SSD "A" while a
 // random-write workload runs, and print the failure report — the minimal
-// use of the public API.
+// use of the public API. For sweeps of many experiments see the Campaign
+// API (examples/requesttype, examples/sequences) and cmd/sweep.
 package main
 
 import (

@@ -1,36 +1,44 @@
 // Requesttype sweeps the read/write mix of the workload (the paper's
-// Fig. 5 experiment, scaled down): as the share of reads grows, data
-// losses fall, and a fully-read workload shows only IO errors.
+// Fig. 5 experiment, scaled down) as a parallel campaign: the five points
+// are independent experiments, so they fan out over a worker pool and the
+// table still comes back in sweep order, with a confidence interval on the
+// figure's loss rate. As the share of reads grows, data losses fall, and a
+// fully-read workload shows only IO errors.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"powerfail"
 )
 
 func main() {
-	fmt.Println("Impact of request type (Fig. 5, scaled): 30 faults per point")
-	fmt.Printf("%-8s %-14s %-6s %-10s %-12s\n", "read%", "data failures", "FWA", "IO errors", "loss/fault")
-	for _, readPct := range []int{0, 20, 50, 80, 100} {
-		w := powerfail.DefaultWorkload()
-		w.ReadPct = readPct
-		rep, err := powerfail.Run(
-			powerfail.Options{Seed: uint64(100 + readPct), Profile: powerfail.ProfileA()},
-			powerfail.Experiment{
-				Name:             fmt.Sprintf("read%d", readPct),
-				Workload:         w,
-				Faults:           30,
-				RequestsPerFault: 16,
-			},
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-8d %-14d %-6d %-10d %-12.2f\n",
-			readPct, rep.DataFailures(), rep.FWA(), rep.IOErrors(), rep.DataLossPerFault)
+	items := powerfail.Fig5Items(0.1) // 30 faults per point
+	fmt.Printf("Impact of request type (Fig. 5, scaled): %d faults per point, %d workers\n",
+		items[0].Spec.Faults, runtime.GOMAXPROCS(0))
+
+	out, err := powerfail.NewCampaign(items,
+		powerfail.WithParallelism(runtime.GOMAXPROCS(0)),
+		powerfail.WithBaseSeed(100),
+		powerfail.WithFailFast(),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
 	}
+
+	fmt.Printf("%-8s %-14s %-6s %-10s %-12s\n", "read%", "data failures", "FWA", "IO errors", "loss/fault")
+	for _, res := range out.Results {
+		rep := res.Report
+		fmt.Printf("%-8.0f %-14d %-6d %-10d %-12.2f\n",
+			res.Item.X, rep.DataFailures(), rep.FWA(), rep.IOErrors(), rep.DataLossPerFault)
+	}
+	s := out.Figures[0]
+	fmt.Printf("\nfigure loss/fault: %.2f ± %.2f (95%% CI over %d points), simulated %.0fs in %.1fs wall\n",
+		s.LossPerFault.Mean, s.LossPerFault.CI95, s.LossPerFault.N,
+		out.SimTime.Seconds(), out.WallTime.Seconds())
 	fmt.Println("\nExpected shape: losses shrink as reads displace writes;")
 	fmt.Println("at 100% reads only IO errors remain (disk unavailability).")
 }

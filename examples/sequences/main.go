@@ -2,36 +2,42 @@
 // of accesses where the second request targets the first one's address
 // (RAR, RAW, WAR, WAW). WAW is the most vulnerable pattern — a fault can
 // corrupt both the new write and the previously written data at that
-// address — while RAR never loses data.
+// address — while RAR never loses data. The four points run as one
+// campaign: fanned out over workers, streamed as they finish, reported in
+// sweep order.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 
 	"powerfail"
 )
 
 func main() {
-	fmt.Println("Impact of access sequences (Fig. 9, scaled): 40 faults per point")
+	items := powerfail.Fig9Items(0.14) // ~40 faults per point
+	fmt.Printf("Impact of access sequences (Fig. 9, scaled): %d faults per point\n",
+		items[0].Spec.Faults)
+
+	out, err := powerfail.NewCampaign(items,
+		powerfail.WithParallelism(runtime.GOMAXPROCS(0)),
+		powerfail.WithProgress(func(res powerfail.CatalogResult) {
+			fmt.Fprintf(os.Stderr, "finished %s\n", res.Item.Label)
+		}),
+		powerfail.WithFailFast(),
+	).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%-6s %-14s %-6s %-10s %-12s\n", "mode", "data failures", "FWA", "IO errors", "loss/fault")
-	for _, mode := range []powerfail.SeqMode{powerfail.RAW, powerfail.WAR, powerfail.RAR, powerfail.WAW} {
-		w := powerfail.DefaultWorkload()
-		w.Sequence = mode
-		rep, err := powerfail.Run(
-			powerfail.Options{Seed: uint64(7 + int(mode)), Profile: powerfail.ProfileA()},
-			powerfail.Experiment{
-				Name:             mode.String(),
-				Workload:         w,
-				Faults:           40,
-				RequestsPerFault: 16,
-			},
-		)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range out.Results {
+		rep := res.Report
 		fmt.Printf("%-6s %-14d %-6d %-10d %-12.2f\n",
-			mode, rep.DataFailures(), rep.FWA(), rep.IOErrors(), rep.DataLossPerFault)
+			res.Item.Label, rep.DataFailures(), rep.FWA(), rep.IOErrors(), rep.DataLossPerFault)
 	}
 	fmt.Println("\nExpected ordering: WAW >> RAW ~ WAR > RAR = 0.")
 }

@@ -1,6 +1,7 @@
 package powerfail
 
 import (
+	"context"
 	"fmt"
 
 	"powerfail/internal/core"
@@ -32,18 +33,11 @@ type CatalogResult struct {
 }
 
 // RunCatalog executes items sequentially, invoking progress (if non-nil)
-// after each. Experiments are independent: each gets a fresh platform.
+// after each. It is a compatibility wrapper over NewCampaign; new code
+// should build a Campaign directly for parallelism and cancellation.
 func RunCatalog(items []CatalogItem, progress func(CatalogResult)) []CatalogResult {
-	out := make([]CatalogResult, 0, len(items))
-	for _, it := range items {
-		rep, err := Run(it.Opts, it.Spec)
-		res := CatalogResult{Item: it, Report: rep, Err: err}
-		out = append(out, res)
-		if progress != nil {
-			progress(res)
-		}
-	}
-	return out
+	out, _ := NewCampaign(items, WithProgress(progress)).Run(context.Background())
+	return out.Results
 }
 
 func scaled(n int, scale float64) int {

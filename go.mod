@@ -1,0 +1,3 @@
+module powerfail
+
+go 1.24

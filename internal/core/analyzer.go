@@ -28,10 +28,10 @@ type Analyzer struct {
 
 // FaultOutcome is the per-fault-cycle failure breakdown.
 type FaultOutcome struct {
-	FaultAt      sim.Time
-	DataFailures int
-	FWA          int
-	IOErrors     int
+	FaultAt      sim.Time `json:"fault_at_ns"`
+	DataFailures int      `json:"data_failures"`
+	FWA          int      `json:"fwa"`
+	IOErrors     int      `json:"io_errors"`
 }
 
 // NewAnalyzer builds an analyzer. recheckWindow bounds how long a

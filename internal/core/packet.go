@@ -89,18 +89,18 @@ func (p *Packet) prevData() content.Data {
 
 // Counters aggregates the analyzer's findings.
 type Counters struct {
-	Issued    int
-	Reads     int
-	Writes    int
-	Completed int
-	Errored   int
-	NotIssued int
+	Issued    int `json:"issued"`
+	Reads     int `json:"reads"`
+	Writes    int `json:"writes"`
+	Completed int `json:"completed"`
+	Errored   int `json:"errored"`
+	NotIssued int `json:"not_issued"`
 
-	DataFailures    int
-	FWA             int
-	IOErrors        int
-	OKVerified      int
-	LateCorruptions int // verified-then-corrupted, caught on recheck
+	DataFailures    int `json:"data_failures"`
+	FWA             int `json:"fwa"`
+	IOErrors        int `json:"io_errors"`
+	OKVerified      int `json:"ok_verified"`
+	LateCorruptions int `json:"late_corruptions"` // verified-then-corrupted, caught on recheck
 }
 
 // DataLosses returns data failures plus FWAs: the paper's combined

@@ -10,34 +10,36 @@ import (
 )
 
 // Report is the outcome of one experiment: the failure counts the paper's
-// figures plot, plus enough supporting detail to debug a run.
+// figures plot, plus enough supporting detail to debug a run. Reports
+// marshal to JSON (simulated times are nanosecond integers) so sweeps can
+// be post-processed by scripts.
 type Report struct {
-	Name    string
-	Profile string
-	Spec    ExperimentSpec
+	Name    string         `json:"name"`
+	Profile string         `json:"profile"`
+	Spec    ExperimentSpec `json:"spec"`
 
-	SimDuration sim.Duration
+	SimDuration sim.Duration `json:"sim_ns"`
 	// ActiveTime is powered-on workload time (excludes fault cycles);
 	// responded IOPS is measured against it.
-	ActiveTime sim.Duration
+	ActiveTime sim.Duration `json:"active_ns"`
 
-	Requests  int
-	Reads     int
-	Writes    int
-	Completed int
-	Errored   int
-	NotIssued int
+	Requests  int `json:"requests"`
+	Reads     int `json:"reads"`
+	Writes    int `json:"writes"`
+	Completed int `json:"completed"`
+	Errored   int `json:"errored"`
+	NotIssued int `json:"not_issued"`
 
-	Faults   int
-	Counters Counters
-	PerFault []FaultOutcome
+	Faults   int            `json:"faults"`
+	Counters Counters       `json:"counters"`
+	PerFault []FaultOutcome `json:"per_fault,omitempty"`
 
-	DataLossPerFault float64
-	RequestedIOPS    float64
-	RespondedIOPS    float64
+	DataLossPerFault float64 `json:"data_loss_per_fault"`
+	RequestedIOPS    float64 `json:"requested_iops,omitempty"`
+	RespondedIOPS    float64 `json:"responded_iops"`
 
-	DeviceStats ssd.Stats
-	HostStats   blockdev.Stats
+	DeviceStats ssd.Stats      `json:"device_stats"`
+	HostStats   blockdev.Stats `json:"host_stats"`
 }
 
 // DataFailures returns the strict data-failure count (excludes FWA).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,20 +14,20 @@ import (
 
 // ExperimentSpec describes one fault-injection experiment.
 type ExperimentSpec struct {
-	Name     string
-	Workload workload.Spec
+	Name     string        `json:"name"`
+	Workload workload.Spec `json:"workload"`
 	// Faults is the number of power faults to inject.
-	Faults int
+	Faults int `json:"faults"`
 	// RequestsPerFault spaces fault injections by completed workload
 	// requests (jittered by +/-25%).
-	RequestsPerFault int
+	RequestsPerFault int `json:"requests_per_fault"`
 	// WindowMode pauses the workload after a chosen request completes and
 	// injects the fault PostACKDelay later — the Section IV-A experiment
 	// measuring data loss after request completion.
-	WindowMode   bool
-	PostACKDelay sim.Duration
+	WindowMode   bool         `json:"window_mode,omitempty"`
+	PostACKDelay sim.Duration `json:"post_ack_delay_ns,omitempty"`
 	// MaxSimTime aborts a runaway experiment (default 6 simulated hours).
-	MaxSimTime sim.Duration
+	MaxSimTime sim.Duration `json:"max_sim_time_ns,omitempty"`
 }
 
 // Validate checks the specification.
@@ -78,7 +79,6 @@ type Runner struct {
 	faultsDone          int
 	faultIdx            int
 
-	traceCursor int
 	verifyQueue []*Packet
 	verifyPos   int
 
@@ -120,8 +120,23 @@ func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
 // Analyzer exposes the failure bookkeeping (for tests and reports).
 func (r *Runner) Analyzer() *Analyzer { return r.analyzer }
 
+// ctxCheckInterval is how many kernel events fire between context polls.
+// An event is microseconds of wall time, so cancellation latency stays in
+// the sub-millisecond range without a per-event atomic load.
+const ctxCheckInterval = 1024
+
 // Run executes the experiment to completion and assembles the report.
-func (r *Runner) Run() (*Report, error) {
+// Cancelling ctx stops the simulation at the next poll point and returns
+// the partial report together with the context's error; a nil ctx is
+// treated as context.Background().
+func (r *Runner) Run(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		r.err = err
+		return r.report(), r.err
+	}
 	k := r.p.K
 	r.startedAt = k.Now()
 	r.activeSince = k.Now()
@@ -147,7 +162,15 @@ func (r *Runner) Run() (*Report, error) {
 		r.fillClosedLoop()
 	}
 
+	steps := 0
 	for r.ph != phaseDone && k.Step() {
+		steps++
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				r.err = err
+				return r.report(), r.err
+			}
+		}
 	}
 	if r.timedOut {
 		r.err = errors.New("core: experiment exceeded MaxSimTime")
@@ -317,13 +340,12 @@ func (r *Runner) maybeStartVerify() {
 	if r.ph != phaseVerify || r.outstanding > 0 || r.verifyQueue != nil {
 		return
 	}
-	// Fold the trace into the packets, then reset it to bound memory.
+	// Fold the trace into the packets, then reset it to bound memory: the
+	// merged Completed flags survive on the packets, so events never need
+	// to be replayed and no cursor into the stream has to be kept.
 	if r.p.Tracer != nil {
-		events, cursor := r.p.Tracer.Since(r.traceCursor)
-		r.analyzer.AttachTrace(blktrace.Assemble(events))
-		_ = cursor
+		r.analyzer.AttachTrace(blktrace.Assemble(r.p.Tracer.Events()))
 		r.p.Tracer.Reset()
-		r.traceCursor = 0
 	}
 	r.verifyQueue = r.analyzer.VerifyCandidates(r.p.K.Now())
 	r.verifyPos = 0
@@ -434,8 +456,8 @@ func (r *Runner) report() *Report {
 }
 
 // RunExperiment is the one-call entry point: build a platform, run the
-// spec, return the report.
-func RunExperiment(opts Options, spec ExperimentSpec) (*Report, error) {
+// spec under ctx, return the report.
+func RunExperiment(ctx context.Context, opts Options, spec ExperimentSpec) (*Report, error) {
 	p, err := NewPlatform(opts)
 	if err != nil {
 		return nil, err
@@ -444,5 +466,5 @@ func RunExperiment(opts Options, spec ExperimentSpec) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runner.Run()
+	return runner.Run(ctx)
 }

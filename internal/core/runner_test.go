@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"powerfail/internal/sim"
@@ -27,11 +29,46 @@ func smallWrites() workload.Spec {
 
 func runSmall(t *testing.T, opts Options, spec ExperimentSpec) *Report {
 	t.Helper()
-	rep, err := RunExperiment(opts, spec)
+	rep, err := RunExperiment(context.Background(), opts, spec)
 	if err != nil {
 		t.Fatalf("experiment: %v", err)
 	}
 	return rep
+}
+
+// TestRunCancelledContext: a pre-cancelled context returns immediately;
+// a context cancelled mid-flight stops the simulation promptly with a
+// partial report.
+func TestRunCancelledContext(t *testing.T) {
+	spec := ExperimentSpec{Name: "cancel", Workload: smallWrites(), Faults: 50, RequestsPerFault: 16}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunExperiment(cancelled, smallOpts(21), spec)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: err = %v", err)
+	}
+	if rep == nil || rep.Faults != 0 {
+		t.Fatalf("pre-cancelled ctx ran faults: %+v", rep)
+	}
+
+	p, err := NewPlatform(smallOpts(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancelMid := context.WithCancel(context.Background())
+	p.K.After(sim.Second, cancelMid)
+	rep, err = r.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel: err = %v", err)
+	}
+	if rep.Faults >= spec.Faults {
+		t.Fatalf("cancelled run completed all %d faults", rep.Faults)
+	}
 }
 
 func TestDeterministicReports(t *testing.T) {
@@ -199,7 +236,7 @@ func TestHardwareChainExercised(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Run(); err != nil {
+	if _, err := r.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if p.Arduino.Commands() != 8 { // cut + restore per fault

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"powerfail/internal/sim"
@@ -13,7 +14,7 @@ import (
 func TestSmokeExperiment(t *testing.T) {
 	prof := ssd.ProfileA()
 	prof.CapacityGB = 8 // keep the FTL maps small for the smoke test
-	rep, err := RunExperiment(Options{Seed: 42, Profile: prof}, ExperimentSpec{
+	rep, err := RunExperiment(context.Background(), Options{Seed: 42, Profile: prof}, ExperimentSpec{
 		Name: "smoke",
 		Workload: workload.Spec{
 			Name:     "smoke",

@@ -48,6 +48,9 @@ func (p Pattern) String() string {
 	return "random"
 }
 
+// MarshalJSON renders the pattern by name.
+func (p Pattern) MarshalJSON() ([]byte, error) { return []byte(`"` + p.String() + `"`), nil }
+
 // SeqMode selects the paper's access-sequence experiments: pairs of
 // requests where the second targets the address of the first.
 type SeqMode int
@@ -77,6 +80,9 @@ func (m SeqMode) String() string {
 	}
 }
 
+// MarshalJSON renders the sequence mode by name.
+func (m SeqMode) MarshalJSON() ([]byte, error) { return []byte(`"` + m.String() + `"`), nil }
+
 // ops returns the pair (first, second) for a sequence mode. The name
 // reads "X after Y": Y is issued first, then X on the same address.
 func (m SeqMode) ops() (first, second Op) {
@@ -96,24 +102,24 @@ func (m SeqMode) ops() (first, second Op) {
 
 // Spec describes a workload.
 type Spec struct {
-	Name string
+	Name string `json:"name"`
 	// WSSBytes is the working set size; addresses are drawn from it.
-	WSSBytes int64
+	WSSBytes int64 `json:"wss_bytes"`
 	// MinSize/MaxSize bound the uniform request size distribution in
 	// bytes; both are rounded to 4 KiB pages. When FixedSize is non-zero
 	// it overrides the range.
-	MinSize   int
-	MaxSize   int
-	FixedSize int
+	MinSize   int `json:"min_size,omitempty"`
+	MaxSize   int `json:"max_size,omitempty"`
+	FixedSize int `json:"fixed_size,omitempty"`
 	// ReadPct is the percentage of read requests (0 = fully write).
-	ReadPct int
+	ReadPct int `json:"read_pct"`
 	// Pattern is the address pattern for SeqNone workloads.
-	Pattern Pattern
+	Pattern Pattern `json:"pattern"`
 	// Sequence switches to paired accesses (RAR/RAW/WAR/WAW).
-	Sequence SeqMode
+	Sequence SeqMode `json:"sequence"`
 	// IOPS > 0 paces arrivals at the requested rate (open loop);
 	// 0 runs closed loop (the runner controls concurrency/think time).
-	IOPS float64
+	IOPS float64 `json:"iops,omitempty"`
 }
 
 // Validate checks the specification.

@@ -3,14 +3,20 @@
 // al., DATE 2018): a power-fault injection and failure detection platform
 // for SSDs.
 //
-// The paper's hardware — an Arduino-controlled ATX supply whose slow
-// capacitive discharge the drive under test experiences — and the drives
-// themselves are modelled in detail (see DESIGN.md); the software part of
-// the platform (fault scheduler, IO generator with checksummed data
-// packets, blktrace/btt-based analyzer, and the data-failure / FWA /
-// IO-error taxonomy) is implemented as published.
+// The top-level entry point is the Campaign: a set of catalog items (the
+// paper's evaluation is a matrix of hundreds of independent experiments
+// per figure) executed over a bounded worker pool with streaming progress,
+// context cancellation, deterministic ordering, per-figure aggregation
+// (failure-rate means with 95% confidence intervals) and JSON output:
 //
-// Quick start:
+//	out, err := powerfail.NewCampaign(powerfail.Fig5Items(0.2),
+//	    powerfail.WithParallelism(8),
+//	    powerfail.WithBaseSeed(1),
+//	).Run(ctx)
+//
+// Each experiment builds an independent single-threaded Platform, so the
+// same (BaseSeed, items) pair reproduces byte-identical reports at any
+// parallelism. Single experiments run through Run/RunContext:
 //
 //	rep, err := powerfail.Run(powerfail.Options{Seed: 1},
 //	    powerfail.Experiment{
@@ -20,11 +26,21 @@
 //	        RequestsPerFault: 16,
 //	    })
 //
+// The paper's hardware — an Arduino-controlled ATX supply whose slow
+// capacitive discharge the drive under test experiences — and the drives
+// themselves are modelled in detail (see DESIGN.md); the software part of
+// the platform (fault scheduler, IO generator with checksummed data
+// packets, blktrace/btt-based analyzer, and the data-failure / FWA /
+// IO-error taxonomy) is implemented as published.
+//
 // The Experiments catalog reproduces every figure of the paper's
-// evaluation; cmd/sweep drives it from the command line.
+// evaluation; cmd/sweep drives it from the command line (-parallel fans
+// out, -json emits the machine-readable CampaignResult).
 package powerfail
 
 import (
+	"context"
+
 	"powerfail/internal/blockdev"
 	"powerfail/internal/core"
 	"powerfail/internal/flash"
@@ -114,8 +130,17 @@ func NewPlatform(opts Options) (*Platform, error) { return core.NewPlatform(opts
 // NewRunner prepares an experiment on a platform.
 func NewRunner(p *Platform, spec Experiment) (*Runner, error) { return core.NewRunner(p, spec) }
 
-// Run builds a platform and executes one experiment.
-func Run(opts Options, spec Experiment) (*Report, error) { return core.RunExperiment(opts, spec) }
+// Run builds a platform and executes one experiment to completion.
+func Run(opts Options, spec Experiment) (*Report, error) {
+	return core.RunExperiment(context.Background(), opts, spec)
+}
+
+// RunContext is Run with cancellation: the simulation stops at the next
+// poll point after ctx is done and returns the partial report with
+// ctx.Err().
+func RunContext(ctx context.Context, opts Options, spec Experiment) (*Report, error) {
+	return core.RunExperiment(ctx, opts, spec)
+}
 
 // ProfileA, ProfileB and ProfileC return the Table I drive models.
 func ProfileA() SSDProfile { return ssd.ProfileA() }
