@@ -71,6 +71,45 @@ func TestCampaignParallelDeterminism(t *testing.T) {
 	}
 }
 
+// TestArrayCampaignParallelDeterminism: the multi-device acceptance
+// criterion — the "array" figure produces byte-identical CampaignResults
+// at parallelism 1 and 8 (every member platform is rebuilt per item from
+// the item seed, so scheduling never leaks into the reports).
+func TestArrayCampaignParallelDeterminism(t *testing.T) {
+	items := smallItems(t, "array", 0.02)
+	run := func(parallelism int) *powerfail.CampaignResult {
+		out, err := powerfail.NewCampaign(items,
+			powerfail.WithParallelism(parallelism),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(8)
+	if seq.Completed != len(items) || par.Completed != len(items) {
+		t.Fatalf("completed %d/%d, want %d", seq.Completed, par.Completed, len(items))
+	}
+	seqEnc, parEnc := encodeReports(t, seq), encodeReports(t, par)
+	anyLoss := false
+	for i := range seqEnc {
+		if seqEnc[i] != parEnc[i] {
+			t.Fatalf("array item %d (%s) diverged between parallelism 1 and 8:\n%s\n%s",
+				i, items[i].Label, seqEnc[i], parEnc[i])
+		}
+		if seq.Results[i].Report.DataLosses() > 0 {
+			anyLoss = true
+		}
+		if len(seq.Results[i].Report.Members) == 0 {
+			t.Fatalf("array item %d (%s): no per-member attribution", i, items[i].Label)
+		}
+	}
+	if !anyLoss {
+		t.Fatal("no array point lost data — correlated faults not biting")
+	}
+}
+
 // TestCampaignBaseSeedOverrides: WithBaseSeed reseeds items by index, so
 // two base seeds give different reports and the same base seed repeats.
 func TestCampaignBaseSeedOverrides(t *testing.T) {

@@ -17,7 +17,11 @@
 // -parallel 8 produces the same tables as -parallel 1, just sooner.
 // Ctrl-C cancels the campaign and prints the completed subset.
 //
-// Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation all.
+// Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation
+// array cache all. -figure is an alias for -set:
+//
+//	sweep -figure array -parallel 4 -json   # RAID-0/1/5 under correlated faults
+//	sweep -figure cache -scale 0.5          # write-back vs write-through SSD cache
 package main
 
 import (
@@ -38,6 +42,7 @@ import (
 
 func main() {
 	set := flag.String("set", "all", "figure id to regenerate (or 'all')")
+	flag.StringVar(set, "figure", "all", "alias for -set")
 	scale := flag.Float64("scale", 0.2, "fraction of the paper's fault counts")
 	parallel := flag.Int("parallel", 1, "worker pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the CampaignResult as JSON instead of markdown")
@@ -176,6 +181,10 @@ func figureTitle(fig string) string {
 		return "Table I — drive behaviour under the base workload"
 	case "ablation":
 		return "Ablations — design-choice sensitivity"
+	case "array":
+		return "Arrays — RAID-0/1/5 under correlated power faults"
+	case "cache":
+		return "SSD cache over HDD — write-back vs write-through under faults"
 	default:
 		return fig
 	}

@@ -1,0 +1,95 @@
+// Arraycompare contrasts multi-device topologies under identical
+// correlated-fault schedules: a RAID-1 mirror, a RAID-5 parity array, and
+// an SSD cache over an HDD in both write policies, all built from the same
+// drive model and driven by the same workload, fault count and seed. Every
+// member of each array shares the platform's single simulated PSU, so one
+// cut hits the whole array mid-flight — the regime where mirror
+// divergence, parity write holes and lost dirty cache lines appear.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"powerfail"
+)
+
+func main() {
+	member := powerfail.ProfileA()
+	member.CapacityGB = 8
+	backing := powerfail.DefaultHDD()
+	backing.CapacityGB = 64
+
+	topologies := []struct {
+		label string
+		topo  powerfail.Topology
+	}{
+		{"raid1x2", powerfail.ArrayTopology(powerfail.RAIDConfig(powerfail.RAID1, 2, member))},
+		{"raid5x3", powerfail.ArrayTopology(powerfail.RAIDConfig(powerfail.RAID5, 3, member))},
+		{"cache-wb", powerfail.ArrayTopology(powerfail.CacheConfig(member, backing, powerfail.WriteBack))},
+		{"cache-wt", powerfail.ArrayTopology(powerfail.CacheConfig(member, backing, powerfail.WriteThrough))},
+	}
+
+	w := powerfail.Workload{
+		Name:     "array-writes",
+		WSSBytes: 2 << 30,
+		MinSize:  4 << 10,
+		MaxSize:  64 << 10,
+	}
+	var items []powerfail.CatalogItem
+	for i, tc := range topologies {
+		items = append(items, powerfail.CatalogItem{
+			Figure: "arraycompare",
+			Label:  tc.label,
+			X:      float64(i),
+			Opts:   powerfail.Options{Seed: 7, Topology: tc.topo},
+			Spec: powerfail.Experiment{
+				Name:             tc.label,
+				Workload:         w,
+				Faults:           12,
+				RequestsPerFault: 12,
+			},
+		})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	out, err := powerfail.NewCampaign(items, powerfail.WithParallelism(4)).Run(ctx)
+	if err != nil {
+		log.Fatalf("campaign: %v", err)
+	}
+
+	fmt.Println("Identical workload, fault schedule and seed per topology:")
+	fmt.Printf("%-10s %-22s %-8s %-6s %-8s %-11s %-10s\n",
+		"topology", "device", "faults", "FWA", "data", "loss/fault", "iops")
+	for _, res := range out.Results {
+		r := res.Report
+		fmt.Printf("%-10s %-22s %-8d %-6d %-8d %-11.2f %-10.0f\n",
+			res.Item.Label, r.Profile, r.Faults, r.Counters.FWA, r.Counters.DataFailures,
+			r.DataLossPerFault, r.RespondedIOPS)
+	}
+
+	fmt.Println("\nPer-member failure attribution:")
+	for _, res := range out.Results {
+		fmt.Printf("  %s:\n", res.Item.Label)
+		for _, m := range res.Report.Members {
+			fmt.Printf("    member %d (%s/%s): served r=%d w=%d, deaths=%d, dirty-lost=%d, attributed data=%d fwa=%d\n",
+				m.Index, m.Name, m.Role, m.Reads, m.Writes, m.Deaths, m.DirtyPagesLost,
+				m.DataFailures, m.FWA)
+		}
+	}
+
+	fmt.Println("\nRedundancy softens but does not remove the volatile-cache problem")
+	fmt.Println("(every mirror or parity member loses its DRAM to the same cut); only")
+	fmt.Println("the write-through cache, which acknowledges after the mechanical")
+	fmt.Println("backend, loses nothing — at a steep IOPS price.")
+
+	for _, res := range out.Results {
+		if res.Item.Label == "cache-wt" && res.Report.DataLosses() != 0 {
+			log.Fatal("BUG: the write-through cache lost acknowledged data")
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Hddcompare runs the same power-fault schedule against the simulated SSD
-// and a write-through hard disk on the platform's block layer. The HDD's
+// and a write-through hard disk through the public Topology API. The HDD's
 // mechanical, write-through path acknowledges only durable data, so it
 // loses nothing it ACKed (at most it tears the single sector under the
 // head, which is never acknowledged); the SSD loses acknowledged writes
@@ -10,114 +10,56 @@ import (
 	"fmt"
 	"log"
 
-	"powerfail/internal/addr"
-	"powerfail/internal/blockdev"
-	"powerfail/internal/content"
-	"powerfail/internal/hdd"
-	"powerfail/internal/power"
-	"powerfail/internal/sim"
-	"powerfail/internal/ssd"
+	"powerfail"
 )
-
-const (
-	faults        = 20
-	writesPerCyle = 10
-)
-
-type result struct {
-	acked, lost, ioErrors int
-}
 
 func main() {
-	ssdRes := run("ssd")
-	hddRes := run("hdd")
-	fmt.Println("Identical fault schedules, 4-64 KiB random writes:")
-	fmt.Printf("%-22s %-8s %-18s %-10s\n", "drive", "acked", "acked-then-lost", "io errors")
-	fmt.Printf("%-22s %-8d %-18d %-10d\n", "SSD A (write cache)", ssdRes.acked, ssdRes.lost, ssdRes.ioErrors)
-	fmt.Printf("%-22s %-8d %-18d %-10d\n", "HDD (write-through)", hddRes.acked, hddRes.lost, hddRes.ioErrors)
-	fmt.Println("\nThe write-through disk never loses acknowledged data; the SSD does —")
-	fmt.Println("the paper's core reliability concern with flash under power faults.")
-	if hddRes.lost != 0 {
-		log.Fatal("BUG: the write-through HDD lost acknowledged data")
+	w := powerfail.Workload{
+		Name:     "rand-write-4-64k",
+		WSSBytes: 1 << 30,
+		MinSize:  4 << 10,
+		MaxSize:  64 << 10,
 	}
-}
-
-func run(kind string) result {
-	k := sim.New()
-	rng := sim.NewRNG(11)
-	psu, err := power.New(k, power.DefaultConfig())
-	must(err)
-
-	var dev blockdev.Device
-	switch kind {
-	case "hdd":
-		d, err := hdd.New(k, rng.Fork("hdd"), hdd.DefaultProfile(), psu)
-		must(err)
-		dev = d
-	default:
-		prof := ssd.ProfileA()
-		prof.CapacityGB = 8
-		d, err := ssd.New(k, rng.Fork("ssd"), prof, psu)
-		must(err)
-		dev = d
+	spec := powerfail.Experiment{
+		Name:             "hddcompare",
+		Workload:         w,
+		Faults:           12,
+		RequestsPerFault: 10,
 	}
-	host, err := blockdev.New(k, dev, nil, blockdev.DefaultConfig())
-	must(err)
 
-	type packet struct {
-		lpn   addr.LPN
-		data  content.Data
-		acked bool
-	}
-	var res result
-	wrng := rng.Fork("workload")
-	for cycle := 0; cycle < faults; cycle++ {
-		var packets []*packet
-		for i := 0; i < writesPerCyle; i++ {
-			pages := 1 + wrng.Intn(16)
-			p := &packet{lpn: addr.LPN(wrng.Intn(1 << 18)), data: content.Random(wrng, pages)}
-			packets = append(packets, p)
-			done := false
-			host.Submit(&blockdev.Request{Op: blockdev.OpWrite, LPN: p.lpn, Pages: pages, Data: p.data,
-				Done: func(r *blockdev.Request) {
-					if r.Err == nil {
-						p.acked = true
-						res.acked++
-					} else {
-						res.ioErrors++
-					}
-					done = true
-				}})
-			k.RunWhile(func() bool { return !done })
-		}
-		// Fault right after the last ACK, then restore.
-		psu.PowerOff()
-		k.RunFor(2 * sim.Second)
-		psu.PowerOn()
-		k.RunFor(4 * sim.Second)
-		// Verify every acknowledged packet.
-		for _, p := range packets {
-			if !p.acked {
-				continue
-			}
-			var got content.Data
-			done := false
-			host.Submit(&blockdev.Request{Op: blockdev.OpRead, LPN: p.lpn, Pages: p.data.Pages(),
-				Done: func(r *blockdev.Request) {
-					got = r.Result
-					done = true
-				}})
-			k.RunWhile(func() bool { return !done })
-			if !got.Equal(p.data) {
-				res.lost++
-			}
-		}
-	}
-	return res
-}
-
-func must(err error) {
+	ssdProf := powerfail.ProfileA()
+	ssdProf.CapacityGB = 8
+	ssdRep, err := powerfail.Run(powerfail.Options{Seed: 11, Profile: ssdProf}, spec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	hddRep, err := powerfail.Run(powerfail.Options{
+		Seed:     11,
+		Topology: powerfail.HDDTopology(powerfail.DefaultHDD()),
+	}, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Identical fault schedules, 4-64 KiB random writes:")
+	fmt.Printf("%-22s %-8s %-18s %-10s\n", "drive", "acked", "acked-then-lost", "io errors")
+	for _, r := range []struct {
+		name string
+		rep  *powerfail.Report
+	}{
+		{"SSD A (write cache)", ssdRep},
+		{"HDD (write-through)", hddRep},
+	} {
+		fmt.Printf("%-22s %-8d %-18d %-10d\n",
+			r.name, r.rep.Completed, r.rep.DataLosses(), r.rep.IOErrors())
+	}
+	if hddRep.HDDStats != nil {
+		fmt.Printf("\nHDD mechanics: %d torn sectors (in-flight at the cut, never ACKed), %d spin-ups\n",
+			hddRep.HDDStats.TornSectors, hddRep.HDDStats.Recoveries)
+	}
+	fmt.Println("\nThe write-through disk never loses acknowledged data; the SSD does —")
+	fmt.Println("the paper's core reliability concern with flash under power faults.")
+	if hddRep.DataLosses() != 0 {
+		log.Fatal("BUG: the write-through HDD lost acknowledged data")
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 
+	"powerfail/internal/array"
 	"powerfail/internal/core"
+	"powerfail/internal/hdd"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
@@ -329,6 +331,109 @@ func AblationItems(scale float64) []CatalogItem {
 	return items
 }
 
+// arrayMember is the SSD model array points are built from: drive A with
+// a small capacity so member FTL state stays cheap across a campaign.
+func arrayMember() ssd.Profile {
+	p := ssd.ProfileA()
+	p.CapacityGB = 8
+	return p
+}
+
+// arrayWrites is the array workload: random 4-64 KiB writes over a small
+// working set, so every member sees traffic between consecutive faults.
+func arrayWrites(name string) Workload {
+	return Workload{
+		Name:     name,
+		WSSBytes: 2 << 30,
+		MinSize:  4 << 10,
+		MaxSize:  64 << 10,
+		Pattern:  workload.Random,
+	}
+}
+
+// ArrayItems is the "array" figure: RAID-0, RAID-1 and RAID-5 arrays of
+// identical drives under the same correlated-fault schedule, sweeping the
+// member count per level; >=60 faults per point at scale 1.
+func ArrayItems(scale float64) []CatalogItem {
+	points := []struct {
+		label string
+		level array.Level
+		n     int
+	}{
+		{"raid0x2", array.RAID0, 2},
+		{"raid0x4", array.RAID0, 4},
+		{"raid1x2", array.RAID1, 2},
+		{"raid1x3", array.RAID1, 3},
+		{"raid5x3", array.RAID5, 3},
+		{"raid5x5", array.RAID5, 5},
+	}
+	var items []CatalogItem
+	for i, pt := range points {
+		opts := Options{
+			Seed:     1300 + uint64(i),
+			Topology: ArrayTopology(RAIDConfig(pt.level, pt.n, arrayMember())),
+		}
+		items = append(items, CatalogItem{
+			Figure: "array",
+			Label:  pt.label,
+			X:      float64(pt.n),
+			Opts:   opts,
+			Spec: Experiment{
+				Name:             "array-" + pt.label,
+				Workload:         arrayWrites(pt.label),
+				Faults:           scaled(60, scale),
+				RequestsPerFault: 12,
+			},
+		})
+	}
+	return items
+}
+
+// CacheItems is the "cache" figure: an SSD cache over a desktop HDD in
+// write-back versus write-through policy, for two cache drive models;
+// >=60 faults per point at scale 1. The write-back points lose
+// acknowledged data (dirty lines die in the cache SSD's DRAM); the
+// write-through points do not.
+func CacheItems(scale float64) []CatalogItem {
+	caches := []ssd.Profile{arrayMember()}
+	{
+		b := ssd.ProfileB()
+		b.CapacityGB = 8
+		caches = append(caches, b)
+	}
+	var items []CatalogItem
+	i := 0
+	for _, cacheProf := range caches {
+		for _, pol := range []array.CachePolicy{array.WriteBack, array.WriteThrough} {
+			tag := "wb"
+			if pol == array.WriteThrough {
+				tag = "wt"
+			}
+			label := fmt.Sprintf("%s/%s", tag, cacheProf.Name)
+			back := hdd.DefaultProfile()
+			back.CapacityGB = 64
+			opts := Options{
+				Seed:     1400 + uint64(i),
+				Topology: ArrayTopology(CacheConfig(cacheProf, back, pol)),
+			}
+			items = append(items, CatalogItem{
+				Figure: "cache",
+				Label:  label,
+				X:      float64(i),
+				Opts:   opts,
+				Spec: Experiment{
+					Name:             "cache-" + tag + "-" + cacheProf.Name,
+					Workload:         arrayWrites(label),
+					Faults:           scaled(60, scale),
+					RequestsPerFault: 12,
+				},
+			})
+			i++
+		}
+	}
+	return items
+}
+
 // AllItems returns the full catalog at the given scale.
 func AllItems(scale float64) []CatalogItem {
 	var items []CatalogItem
@@ -341,11 +446,14 @@ func AllItems(scale float64) []CatalogItem {
 	items = append(items, Fig8Items(scale)...)
 	items = append(items, Fig9Items(scale)...)
 	items = append(items, AblationItems(scale)...)
+	items = append(items, ArrayItems(scale)...)
+	items = append(items, CacheItems(scale)...)
 	return items
 }
 
 // ItemsFor returns the catalog slice for a figure id ("fig5".."fig9",
-// "fig4", "window", "seqrand", "tablei", "ablation", "all").
+// "fig4", "window", "seqrand", "tablei", "ablation", "array", "cache",
+// "all").
 func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
 	switch figure {
 	case "fig5":
@@ -366,6 +474,10 @@ func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
 		return TableIItems(scale), nil
 	case "ablation":
 		return AblationItems(scale), nil
+	case "array":
+		return ArrayItems(scale), nil
+	case "cache":
+		return CacheItems(scale), nil
 	case "all":
 		return AllItems(scale), nil
 	default:

@@ -1,0 +1,588 @@
+// Package array composes several simulated drives into one composite
+// blockdev.Drive: striping (RAID-0), mirroring (RAID-1), rotating
+// distributed parity with read-modify-write (RAID-5), and an SSD cache
+// fronting an HDD in write-back or write-through policy.
+//
+// The decisive property of the platform is that every member hangs off the
+// same simulated PSU, exactly like the drives in the paper's rig share one
+// Arduino-switched ATX supply: a power cut is *correlated* across the
+// array, hitting every member mid-flight. The interesting multi-device
+// failures — the RAID-5 write hole, mirror divergence, dirty write-back
+// cache lines dying in front of a durable backend — are not scripted here;
+// they emerge from each member's own power-failure model (volatile DRAM
+// caches, interrupted programs, lost mapping runs) composing with the
+// array-level redundancy and ordering.
+//
+// Parity is computed over page fingerprints (content.Fingerprint is a
+// 64-bit content identifier, so XOR of fingerprints is a faithful stand-in
+// for XOR of page bytes: equal iff the underlying parity bytes are equal).
+package array
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/hdd"
+	"powerfail/internal/power"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+)
+
+// Level selects the composition.
+type Level int
+
+// Array levels. Cached is the SSD-cache-over-HDD mode; the RAID levels
+// stripe, mirror, or rotate parity over the member SSDs.
+const (
+	RAID0 Level = iota
+	RAID1
+	RAID5
+	Cached
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case RAID0:
+		return "raid0"
+	case RAID1:
+		return "raid1"
+	case RAID5:
+		return "raid5"
+	case Cached:
+		return "cache"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// CachePolicy selects when a Cached array acknowledges writes.
+type CachePolicy int
+
+// Cache policies. WriteBack acknowledges once the SSD holds the data (the
+// dangerous, fast mode); WriteThrough waits for the backing HDD too.
+const (
+	WriteBack CachePolicy = iota
+	WriteThrough
+)
+
+// String implements fmt.Stringer.
+func (p CachePolicy) String() string {
+	if p == WriteThrough {
+		return "write-through"
+	}
+	return "write-back"
+}
+
+// Config describes a composite device.
+type Config struct {
+	Level Level
+	// Members are the SSD models of a RAID-0/1/5 array (ignored by Cached).
+	Members []ssd.Profile
+	// StripePages is the RAID-0/5 chunk size in 4 KiB pages (default 16,
+	// a 64 KiB chunk).
+	StripePages int
+
+	// Cache and Backing configure the Cached level: an SSD in front of an
+	// HDD. Zero values select ssd.ProfileA() and hdd.DefaultProfile().
+	Cache   ssd.Profile
+	Backing hdd.Profile
+	Policy  CachePolicy
+	// DestageTick paces the write-back destage scan (default 20 ms).
+	DestageTick sim.Duration
+	// DestageBatchPages bounds lines destaged per tick (default 64).
+	DestageBatchPages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.StripePages == 0 {
+		c.StripePages = 16
+	}
+	if c.Level == Cached {
+		if c.Cache.Name == "" {
+			c.Cache = ssd.ProfileA()
+		}
+		if c.Backing.Name == "" {
+			c.Backing = hdd.DefaultProfile()
+		}
+		if c.DestageTick == 0 {
+			c.DestageTick = 20 * sim.Millisecond
+		}
+		if c.DestageBatchPages == 0 {
+			c.DestageBatchPages = 64
+		}
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.StripePages <= 0 {
+		return fmt.Errorf("array: StripePages must be positive, got %d", c.StripePages)
+	}
+	switch c.Level {
+	case RAID0:
+		if len(c.Members) < 2 {
+			return fmt.Errorf("array: raid0 needs >= 2 members, got %d", len(c.Members))
+		}
+	case RAID1:
+		if len(c.Members) < 2 {
+			return fmt.Errorf("array: raid1 needs >= 2 members, got %d", len(c.Members))
+		}
+	case RAID5:
+		if len(c.Members) < 3 {
+			return fmt.Errorf("array: raid5 needs >= 3 members, got %d", len(c.Members))
+		}
+	case Cached:
+		if len(c.Members) != 0 {
+			return fmt.Errorf("array: cached level takes Cache/Backing, not Members")
+		}
+		if err := c.Backing.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("array: unknown level %d", int(c.Level))
+	}
+	return nil
+}
+
+// ErrOutOfRange reports an access beyond the array's exported capacity.
+var ErrOutOfRange = errors.New("array: address beyond array capacity")
+
+// Stats counts array-level activity. Member-device internals (deaths,
+// dirty pages lost, interrupted programs) live on the members themselves.
+type Stats struct {
+	HostReads   int64 `json:"host_reads"`
+	HostWrites  int64 `json:"host_writes"`
+	HostFlushes int64 `json:"host_flushes"`
+	HostErrors  int64 `json:"host_errors"`
+
+	// RAID counters.
+	ParityRMWs      int64 `json:"parity_rmws,omitempty"`
+	WriteHoles      int64 `json:"write_holes,omitempty"` // data/parity update where exactly one side was acknowledged
+	Reconstructions int64 `json:"reconstructions,omitempty"`
+	RedirectedReads int64 `json:"redirected_reads,omitempty"`
+	Divergences     int64 `json:"divergences,omitempty"` // mirror writes acknowledged by only a subset
+
+	// Cache counters.
+	CacheHits    int64 `json:"cache_hits,omitempty"`
+	CacheMisses  int64 `json:"cache_misses,omitempty"`
+	Destages     int64 `json:"destages,omitempty"`
+	LinesDropped int64 `json:"lines_dropped,omitempty"` // invalidated on crash recovery
+	Bypasses     int64 `json:"bypasses,omitempty"`      // cache full: request went straight to the backing drive
+}
+
+// MemberStats is the array's view of one member's service counters.
+type MemberStats struct {
+	Name   string `json:"name"`
+	Role   string `json:"role"` // "data", "mirror", "cache", "backing"
+	Reads  int64  `json:"reads"`
+	Writes int64  `json:"writes"`
+	Errors int64  `json:"errors"`
+}
+
+// Array is the composite device under test.
+type Array struct {
+	k   *sim.Kernel
+	cfg Config
+
+	members   []blockdev.Drive
+	ssds      []*ssd.Device
+	backing   *hdd.Disk
+	perMember []MemberStats
+	up        []bool
+
+	// RAID geometry.
+	memberPages int64 // usable pages per member (stripe-rounded for 0/5)
+	userPages   int64
+
+	rrNext      int // raid1 read rotation cursor
+	stripeLocks map[int64][]func()
+
+	// Cached level state.
+	lines     map[addr.LPN]*cline
+	dirtyHead *cline // FIFO of dirty lines awaiting destage
+	dirtyTail *cline
+	freeSlots []addr.LPN
+	nextSlot  addr.LPN
+	ssdPages  int64
+	destaging *sim.Timer
+
+	stats          Stats
+	readyListeners []func()
+	downListeners  []func()
+}
+
+// New builds the composite device, constructing every member over the same
+// PSU rail so one power fault hits the whole array. psu may be nil for
+// unpowered unit tests.
+func New(k *sim.Kernel, r *sim.RNG, cfg Config, psu *power.PSU) (*Array, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	a := &Array{k: k, cfg: cfg, stripeLocks: make(map[int64][]func())}
+
+	if cfg.Level == Cached {
+		cache, err := ssd.New(k, r.Fork("cache"), cfg.Cache, psu)
+		if err != nil {
+			return nil, fmt.Errorf("array: cache member: %w", err)
+		}
+		back, err := hdd.New(k, r.Fork("backing"), cfg.Backing, psu)
+		if err != nil {
+			return nil, fmt.Errorf("array: backing member: %w", err)
+		}
+		a.members = []blockdev.Drive{cache, back}
+		a.ssds = []*ssd.Device{cache}
+		a.backing = back
+		a.perMember = []MemberStats{
+			{Name: cache.Name(), Role: "cache"},
+			{Name: back.Name(), Role: "backing"},
+		}
+		a.ssdPages = cache.UserPages()
+		a.userPages = back.UserPages()
+		a.lines = make(map[addr.LPN]*cline)
+	} else {
+		role := "data"
+		if cfg.Level == RAID1 {
+			role = "mirror"
+		}
+		minPages := int64(-1)
+		for i, prof := range cfg.Members {
+			dev, err := ssd.New(k, r.Fork(fmt.Sprintf("member%d", i)), prof, psu)
+			if err != nil {
+				return nil, fmt.Errorf("array: member %d: %w", i, err)
+			}
+			a.members = append(a.members, dev)
+			a.ssds = append(a.ssds, dev)
+			a.perMember = append(a.perMember, MemberStats{Name: dev.Name(), Role: role})
+			if minPages < 0 || dev.UserPages() < minPages {
+				minPages = dev.UserPages()
+			}
+		}
+		sp := int64(cfg.StripePages)
+		n := int64(len(a.members))
+		switch cfg.Level {
+		case RAID0:
+			a.memberPages = (minPages / sp) * sp
+			a.userPages = n * a.memberPages
+		case RAID1:
+			a.memberPages = minPages
+			a.userPages = minPages
+		case RAID5:
+			a.memberPages = (minPages / sp) * sp
+			a.userPages = (n - 1) * a.memberPages
+		}
+	}
+
+	a.up = make([]bool, len(a.members))
+	for i := range a.members {
+		idx := i
+		a.up[i] = true
+		a.members[i].NotifyDown(func() { a.onMemberDown(idx) })
+		a.members[i].NotifyReady(func() { a.onMemberReady(idx) })
+	}
+	return a, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// Name implements blockdev.Drive: "raid5x4[A]" or "cache-wb[A/HDD]".
+func (a *Array) Name() string {
+	if a.cfg.Level == Cached {
+		pol := "wb"
+		if a.cfg.Policy == WriteThrough {
+			pol = "wt"
+		}
+		return fmt.Sprintf("cache-%s[%s/%s]", pol, a.members[0].Name(), a.members[1].Name())
+	}
+	names := make([]string, 0, len(a.members))
+	same := true
+	for _, m := range a.members {
+		if m.Name() != a.members[0].Name() {
+			same = false
+		}
+		names = append(names, m.Name())
+	}
+	label := a.members[0].Name()
+	if !same {
+		label = strings.Join(names, ",")
+	}
+	return fmt.Sprintf("%sx%d[%s]", a.cfg.Level, len(a.members), label)
+}
+
+// UserPages implements blockdev.Drive.
+func (a *Array) UserPages() int64 { return a.userPages }
+
+// Ready implements blockdev.Drive: the array answers once every member does.
+func (a *Array) Ready() bool {
+	for _, m := range a.members {
+		if !m.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// NotifyReady implements blockdev.Drive; fn fires when the *last* member of
+// a downed array comes back (after the array's own crash recovery, such as
+// dropping stale cache lines, has run).
+func (a *Array) NotifyReady(fn func()) { a.readyListeners = append(a.readyListeners, fn) }
+
+// NotifyDown implements blockdev.Drive; fn fires when the first member of a
+// fully-up array drops.
+func (a *Array) NotifyDown(fn func()) { a.downListeners = append(a.downListeners, fn) }
+
+// Stats returns a snapshot of the array-level counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// Members returns the per-member service counters, index-aligned with the
+// construction order (RAID members, or [cache, backing]).
+func (a *Array) Members() []MemberStats {
+	out := make([]MemberStats, len(a.perMember))
+	copy(out, a.perMember)
+	return out
+}
+
+// Drive returns member i's device for stats inspection.
+func (a *Array) Drive(i int) blockdev.Drive { return a.members[i] }
+
+// SSDs returns the SSD members (all RAID members, or the cache).
+func (a *Array) SSDs() []*ssd.Device { return a.ssds }
+
+// Backing returns the backing HDD of a Cached array (nil otherwise).
+func (a *Array) Backing() *hdd.Disk { return a.backing }
+
+func (a *Array) onMemberDown(i int) {
+	wasUp := true
+	for _, u := range a.up {
+		wasUp = wasUp && u
+	}
+	a.up[i] = false
+	if wasUp {
+		for _, fn := range a.downListeners {
+			fn()
+		}
+	}
+}
+
+func (a *Array) onMemberReady(i int) {
+	a.up[i] = true
+	for _, u := range a.up {
+		if !u {
+			return
+		}
+	}
+	// Last member back: run the array's own recovery before telling the
+	// platform the composite device is ready again.
+	if a.cfg.Level == Cached {
+		a.recoverCache()
+	}
+	for _, fn := range a.readyListeners {
+		fn()
+	}
+}
+
+// memberSubmit routes one operation to member i, keeping service counters.
+func (a *Array) memberSubmit(i int, op blockdev.Op, lpn addr.LPN, pages int, data content.Data, done func(error, content.Data)) {
+	ms := &a.perMember[i]
+	switch op {
+	case blockdev.OpRead:
+		ms.Reads++
+	case blockdev.OpWrite:
+		ms.Writes++
+	}
+	a.members[i].Submit(op, lpn, pages, data, func(err error, res content.Data) {
+		if err != nil {
+			ms.Errors++
+		}
+		done(err, res)
+	})
+}
+
+// Submit implements blockdev.Device.
+func (a *Array) Submit(op blockdev.Op, lpn addr.LPN, pages int, data content.Data, done func(error, content.Data)) {
+	if op != blockdev.OpFlush && (lpn < 0 || int64(lpn)+int64(pages) > a.userPages) {
+		a.stats.HostErrors++
+		a.k.After(500*sim.Microsecond, func() { done(ErrOutOfRange, content.Data{}) })
+		return
+	}
+	finish := func(err error, res content.Data) {
+		if err != nil {
+			a.stats.HostErrors++
+		} else {
+			switch op {
+			case blockdev.OpRead:
+				a.stats.HostReads++
+			case blockdev.OpWrite:
+				a.stats.HostWrites++
+			default:
+				a.stats.HostFlushes++
+			}
+		}
+		done(err, res)
+	}
+	if op == blockdev.OpFlush {
+		a.submitFlush(finish)
+		return
+	}
+	switch a.cfg.Level {
+	case RAID0:
+		a.submitRAID0(op, lpn, pages, data, finish)
+	case RAID1:
+		a.submitRAID1(op, lpn, pages, data, finish)
+	case RAID5:
+		a.submitRAID5(op, lpn, pages, data, finish)
+	default:
+		a.submitCached(op, lpn, pages, data, finish)
+	}
+}
+
+// submitFlush fans the flush out to every member; a Cached write-back
+// array first forces its dirty lines toward the backing drive.
+func (a *Array) submitFlush(done func(error, content.Data)) {
+	if a.cfg.Level == Cached && a.cfg.Policy == WriteBack {
+		a.destageAll()
+	}
+	parts := len(a.members)
+	var firstErr error
+	for i := range a.members {
+		a.memberSubmit(i, blockdev.OpFlush, 0, 0, content.Data{}, func(err error, _ content.Data) {
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			parts--
+			if parts == 0 {
+				done(firstErr, content.Data{})
+			}
+		})
+	}
+}
+
+// Attribute maps an LPN range to the member indices that hold (or held)
+// the affected data: the striped members for RAID-0, every mirror for
+// RAID-1 (a divergent mirror cannot be singled out without a scrub), the
+// data plus parity members of the touched stripes for RAID-5, and for the
+// Cached level the cache SSD for pages with a resident line (dirty lines
+// live nowhere else) or the backing drive for uncached pages.
+func (a *Array) Attribute(lpn addr.LPN, pages int) []int {
+	switch a.cfg.Level {
+	case RAID1:
+		out := make([]int, len(a.members))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	case Cached:
+		var set [2]bool
+		for i := 0; i < pages; i++ {
+			if _, ok := a.lines[lpn+addr.LPN(i)]; ok {
+				set[0] = true
+			} else {
+				set[1] = true
+			}
+		}
+		var out []int
+		for i, on := range set {
+			if on {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool)
+	var out []int
+	add := func(m int) {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	for _, cr := range a.chunksOf(lpn, pages) {
+		add(cr.member)
+		if a.cfg.Level == RAID5 {
+			add(cr.parity)
+		}
+	}
+	return out
+}
+
+// chunkRange maps a contiguous page run of a host request onto one member.
+type chunkRange struct {
+	member int      // data member index
+	mlpn   addr.LPN // member-local page address
+	off    int      // page offset within the host request
+	n      int      // pages
+	stripe int64    // raid5: global stripe id (lock key)
+	parity int      // raid5: parity member index
+}
+
+// chunksOf splits [lpn, lpn+pages) into per-member chunk ranges for the
+// striped levels (RAID-0 and RAID-5).
+func (a *Array) chunksOf(lpn addr.LPN, pages int) []chunkRange {
+	sp := int64(a.cfg.StripePages)
+	n := int64(len(a.members))
+	var out []chunkRange
+	for off := 0; off < pages; {
+		cur := int64(lpn) + int64(off)
+		chunk := cur / sp
+		in := cur % sp
+		run := int(sp - in)
+		if rem := pages - off; run > rem {
+			run = rem
+		}
+		cr := chunkRange{off: off, n: run}
+		switch a.cfg.Level {
+		case RAID5:
+			dataPer := n - 1
+			stripe := chunk / dataPer
+			idx := int(chunk % dataPer)
+			parity := int(stripe % n)
+			m := idx
+			if m >= parity {
+				m++
+			}
+			cr.member = m
+			cr.parity = parity
+			cr.stripe = stripe
+			cr.mlpn = addr.LPN(stripe*sp + in)
+		default: // RAID0
+			cr.member = int(chunk % n)
+			cr.mlpn = addr.LPN((chunk/n)*sp + in)
+		}
+		out = append(out, cr)
+		off += run
+	}
+	return out
+}
+
+// lockStripe serializes parity read-modify-write cycles per stripe; fn
+// runs once the stripe is free and must call the returned release exactly
+// once when its updates are complete.
+func (a *Array) lockStripe(stripe int64, fn func(release func())) {
+	release := func() {
+		q, ok := a.stripeLocks[stripe]
+		if !ok {
+			return
+		}
+		if len(q) == 0 {
+			delete(a.stripeLocks, stripe)
+			return
+		}
+		next := q[0]
+		a.stripeLocks[stripe] = q[1:]
+		next()
+	}
+	run := func() { fn(release) }
+	if _, busy := a.stripeLocks[stripe]; busy {
+		a.stripeLocks[stripe] = append(a.stripeLocks[stripe], run)
+		return
+	}
+	a.stripeLocks[stripe] = nil
+	run()
+}

@@ -106,6 +106,25 @@ type Device interface {
 	Submit(op Op, lpn addr.LPN, pages int, data content.Data, done func(err error, result content.Data))
 }
 
+// Drive is the full device contract the platform hangs behind the block
+// layer: request submission plus identity, capacity and power-state
+// signals. The SSD and HDD models implement it directly; internal/array
+// composes several Drives into one (RAID levels, SSD cache over HDD).
+type Drive interface {
+	Device
+	// Name identifies the device in reports ("A", "HDD", "raid5x4[A]").
+	Name() string
+	// UserPages is the host-visible capacity in 4 KiB pages.
+	UserPages() int64
+	// Ready reports whether the device currently answers the host.
+	Ready() bool
+	// NotifyReady registers fn to run every time the device transitions
+	// back to answering the host after an outage.
+	NotifyReady(fn func())
+	// NotifyDown registers fn to run every time the host link drops.
+	NotifyDown(fn func())
+}
+
 // Config tunes the block layer.
 type Config struct {
 	// MaxSegPages splits requests larger than this many pages.

@@ -24,6 +24,19 @@ type Analyzer struct {
 	recheckWindow sim.Duration
 	counts        Counters
 	perFault      []FaultOutcome
+
+	// attribute maps a failed packet's LPN range to the member indices of
+	// a composite device; nil on single-device platforms.
+	attribute   func(lpn addr.LPN, pages int) []int
+	memberFails []MemberFailureCounts
+}
+
+// MemberFailureCounts is the per-member slice of the failure taxonomy for
+// composite devices.
+type MemberFailureCounts struct {
+	DataFailures int `json:"data_failures"`
+	FWA          int `json:"fwa"`
+	IOErrors     int `json:"io_errors"`
 }
 
 // FaultOutcome is the per-fault-cycle failure breakdown.
@@ -51,6 +64,44 @@ func NewAnalyzer(k *sim.Kernel, recheckWindow sim.Duration) *Analyzer {
 
 // Counters returns the current totals.
 func (a *Analyzer) Counters() Counters { return a.counts }
+
+// SetAttribution installs a composite-device failure attributor over n
+// members: every failure classified from here on is also charged to the
+// members fn maps the packet's address range to.
+func (a *Analyzer) SetAttribution(n int, fn func(lpn addr.LPN, pages int) []int) {
+	a.attribute = fn
+	a.memberFails = make([]MemberFailureCounts, n)
+}
+
+// MemberFailures returns the per-member attributed failures (nil without
+// an attributor).
+func (a *Analyzer) MemberFailures() []MemberFailureCounts {
+	if a.memberFails == nil {
+		return nil
+	}
+	out := make([]MemberFailureCounts, len(a.memberFails))
+	copy(out, a.memberFails)
+	return out
+}
+
+func (a *Analyzer) chargeMembers(pkt *Packet, kind FailureKind) {
+	if a.attribute == nil {
+		return
+	}
+	for _, m := range a.attribute(pkt.LPN, pkt.Pages) {
+		if m < 0 || m >= len(a.memberFails) {
+			continue
+		}
+		switch kind {
+		case FailData:
+			a.memberFails[m].DataFailures++
+		case FailFWA:
+			a.memberFails[m].FWA++
+		case FailIOError:
+			a.memberFails[m].IOErrors++
+		}
+	}
+}
 
 // PerFault returns the per-cycle breakdown.
 func (a *Analyzer) PerFault() []FaultOutcome { return a.perFault }
@@ -155,6 +206,7 @@ func (a *Analyzer) Classify(pkt *Packet, obs content.Data, faultIdx int) Failure
 			pkt.FaultIdx = faultIdx
 			a.counts.IOErrors++
 			a.fault(faultIdx).IOErrors++
+			a.chargeMembers(pkt, FailIOError)
 		}
 	case FailFWA:
 		if pkt.FailedAs == FailNone {
@@ -162,6 +214,7 @@ func (a *Analyzer) Classify(pkt *Packet, obs content.Data, faultIdx int) Failure
 			pkt.FaultIdx = faultIdx
 			a.counts.FWA++
 			a.fault(faultIdx).FWA++
+			a.chargeMembers(pkt, FailFWA)
 			if !first {
 				a.counts.LateCorruptions++
 			}
@@ -172,6 +225,7 @@ func (a *Analyzer) Classify(pkt *Packet, obs content.Data, faultIdx int) Failure
 			pkt.FaultIdx = faultIdx
 			a.counts.DataFailures++
 			a.fault(faultIdx).DataFailures++
+			a.chargeMembers(pkt, FailData)
 			if !first {
 				a.counts.LateCorruptions++
 			}

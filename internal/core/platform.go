@@ -3,20 +3,64 @@ package core
 import (
 	"fmt"
 
+	"powerfail/internal/array"
 	"powerfail/internal/blktrace"
 	"powerfail/internal/blockdev"
+	"powerfail/internal/hdd"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
 )
+
+// TopologyKind selects what hangs behind the block layer.
+type TopologyKind int
+
+// Device topologies. The zero value keeps the platform's historical shape:
+// one SSD under test.
+const (
+	TopoSSD TopologyKind = iota
+	TopoHDD
+	TopoArray
+)
+
+// String implements fmt.Stringer.
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoSSD:
+		return "ssd"
+	case TopoHDD:
+		return "hdd"
+	case TopoArray:
+		return "array"
+	default:
+		return fmt.Sprintf("TopologyKind(%d)", int(k))
+	}
+}
+
+// Topology describes the device side of the platform: a single SSD
+// (Options.Profile), a single HDD, or a composite array whose members all
+// share the platform's one simulated PSU — so a power fault is correlated
+// across every member, as in the paper's rig.
+type Topology struct {
+	Kind TopologyKind
+	// HDD configures the single-HDD topology; the zero value selects
+	// hdd.DefaultProfile().
+	HDD hdd.Profile
+	// Array configures the multi-device topology (RAID-0/1/5 or
+	// SSD-cache-over-HDD).
+	Array array.Config
+}
 
 // Options configures a Platform instance.
 type Options struct {
 	// Seed drives every random stream; identical (Seed, spec) pairs
 	// reproduce identical reports.
 	Seed uint64
-	// Profile is the drive under test; zero value selects SSD A.
+	// Profile is the drive under test for the single-SSD topology; zero
+	// value selects SSD A.
 	Profile ssd.Profile
+	// Topology selects the device side (single SSD by default).
+	Topology Topology
 	// Host overrides the block-layer configuration.
 	Host blockdev.Config
 	// PSU overrides the supply's electrical model.
@@ -40,6 +84,9 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Profile.Name == "" {
 		o.Profile = ssd.ProfileA()
+	}
+	if o.Topology.Kind == TopoHDD && o.Topology.HDD.Name == "" {
+		o.Topology.HDD = hdd.DefaultProfile()
 	}
 	if o.Host == (blockdev.Config{}) {
 		o.Host = blockdev.DefaultConfig()
@@ -67,7 +114,9 @@ func (o Options) withDefaults() Options {
 
 // Platform wires the hardware part (PSU, ATX, Arduino) to the device under
 // test and the software part (scheduler, IO generator, analyzer) exactly
-// as in Fig. 1 of the paper.
+// as in Fig. 1 of the paper. Dev is whatever the Topology selected; the
+// typed fields below it expose the concrete device(s) for stats and tests
+// (nil for the topologies that do not use them).
 type Platform struct {
 	Opts Options
 
@@ -76,7 +125,10 @@ type Platform struct {
 	PSU     *power.PSU
 	ATX     *power.ATX
 	Arduino *power.Arduino
-	Dev     *ssd.Device
+	Dev     blockdev.Drive
+	SSD     *ssd.Device  // single-SSD topology
+	HDD     *hdd.Disk    // single-HDD topology
+	Array   *array.Array // array topology
 	Host    *blockdev.Queue
 	Tracer  *blktrace.Tracer
 	Sched   *FaultScheduler
@@ -95,32 +147,48 @@ func NewPlatform(opts Options) (*Platform, error) {
 	atx := power.NewATX(psu)
 	ard := power.NewArduino(k, power.DefaultSerialLatency, atx.SetPin16)
 
-	dev, err := ssd.New(k, root.Fork("ssd"), opts.Profile, psu)
-	if err != nil {
-		return nil, fmt.Errorf("core: device: %w", err)
-	}
-
-	var tracer *blktrace.Tracer
-	if !opts.DisableTrace {
-		tracer = blktrace.NewTracer()
-	}
-	host, err := blockdev.New(k, dev, tracer, opts.Host)
-	if err != nil {
-		return nil, fmt.Errorf("core: host: %w", err)
-	}
-
-	return &Platform{
+	p := &Platform{
 		Opts:    opts,
 		K:       k,
 		RNG:     root,
 		PSU:     psu,
 		ATX:     atx,
 		Arduino: ard,
-		Dev:     dev,
-		Host:    host,
-		Tracer:  tracer,
-		Sched:   NewFaultScheduler(k, ard),
-	}, nil
+		Sched:   nil,
+	}
+	switch opts.Topology.Kind {
+	case TopoSSD:
+		dev, err := ssd.New(k, root.Fork("ssd"), opts.Profile, psu)
+		if err != nil {
+			return nil, fmt.Errorf("core: device: %w", err)
+		}
+		p.SSD, p.Dev = dev, dev
+	case TopoHDD:
+		disk, err := hdd.New(k, root.Fork("hdd"), opts.Topology.HDD, psu)
+		if err != nil {
+			return nil, fmt.Errorf("core: device: %w", err)
+		}
+		p.HDD, p.Dev = disk, disk
+	case TopoArray:
+		arr, err := array.New(k, root, opts.Topology.Array, psu)
+		if err != nil {
+			return nil, fmt.Errorf("core: device: %w", err)
+		}
+		p.Array, p.Dev = arr, arr
+	default:
+		return nil, fmt.Errorf("core: unknown topology kind %d", int(opts.Topology.Kind))
+	}
+
+	if !opts.DisableTrace {
+		p.Tracer = blktrace.NewTracer()
+	}
+	host, err := blockdev.New(k, p.Dev, p.Tracer, opts.Host)
+	if err != nil {
+		return nil, fmt.Errorf("core: host: %w", err)
+	}
+	p.Host = host
+	p.Sched = NewFaultScheduler(k, ard)
+	return p, nil
 }
 
 // FaultScheduler is the paper's Scheduler component: it decides fault
@@ -156,3 +224,6 @@ func (s *FaultScheduler) Restore() {
 
 // Cuts returns the number of Cut commands sent.
 func (s *FaultScheduler) Cuts() int { return s.cuts }
+
+// Restores returns the number of Restore commands sent.
+func (s *FaultScheduler) Restores() int { return s.restores }

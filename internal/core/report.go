@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"strings"
 
+	"powerfail/internal/array"
 	"powerfail/internal/blockdev"
+	"powerfail/internal/hdd"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
 )
@@ -30,7 +32,11 @@ type Report struct {
 	Errored   int `json:"errored"`
 	NotIssued int `json:"not_issued"`
 
-	Faults   int            `json:"faults"`
+	Faults int `json:"faults"`
+	// Cuts and Restores count the scheduler's commands to the Arduino
+	// (Cuts can exceed Faults when an experiment is cancelled mid-cycle).
+	Cuts     int            `json:"cuts"`
+	Restores int            `json:"restores"`
 	Counters Counters       `json:"counters"`
 	PerFault []FaultOutcome `json:"per_fault,omitempty"`
 
@@ -38,8 +44,40 @@ type Report struct {
 	RequestedIOPS    float64 `json:"requested_iops,omitempty"`
 	RespondedIOPS    float64 `json:"responded_iops"`
 
-	DeviceStats ssd.Stats      `json:"device_stats"`
+	// DeviceStats is set on the single-SSD topology (nil otherwise, so
+	// JSON consumers cannot mistake an absent SSD for an idle one).
+	DeviceStats *ssd.Stats     `json:"device_stats,omitempty"`
 	HostStats   blockdev.Stats `json:"host_stats"`
+
+	// HDDStats is set on the single-HDD topology.
+	HDDStats *hdd.Stats `json:"hdd_stats,omitempty"`
+	// ArrayStats and Members are set on the array topology: array-level
+	// counters plus the per-member service counters, device health and
+	// attributed failures.
+	ArrayStats *array.Stats   `json:"array_stats,omitempty"`
+	Members    []MemberReport `json:"members,omitempty"`
+}
+
+// MemberReport is one array member's view of the experiment: how much it
+// served, how its power cycle went, and which failures the analyzer
+// attributed to it (a failure maps to every member that holds the affected
+// address range, so mirror failures are charged collectively).
+type MemberReport struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Role  string `json:"role"`
+
+	Reads  int64 `json:"reads"`
+	Writes int64 `json:"writes"`
+	Errors int64 `json:"errors"`
+
+	Deaths         int64 `json:"deaths"`
+	Recoveries     int64 `json:"recoveries"`
+	DirtyPagesLost int64 `json:"dirty_pages_lost"`
+
+	DataFailures int `json:"data_failures"`
+	FWA          int `json:"fwa"`
+	IOErrors     int `json:"io_errors"`
 }
 
 // DataFailures returns the strict data-failure count (excludes FWA).
@@ -62,10 +100,20 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "  sim time: %s (active %s)\n", r.SimDuration, r.ActiveTime)
 	fmt.Fprintf(&b, "  requests: %d (%d reads, %d writes; %d completed, %d errored, %d not issued)\n",
 		r.Requests, r.Reads, r.Writes, r.Completed, r.Errored, r.NotIssued)
-	fmt.Fprintf(&b, "  faults:   %d injected\n", r.Faults)
+	fmt.Fprintf(&b, "  faults:   %d injected (%d cuts, %d restores)\n", r.Faults, r.Cuts, r.Restores)
 	fmt.Fprintf(&b, "  failures: %d data failures, %d FWA, %d IO errors (%d late corruptions)\n",
 		r.Counters.DataFailures, r.Counters.FWA, r.Counters.IOErrors, r.Counters.LateCorruptions)
 	fmt.Fprintf(&b, "  data loss per fault: %.2f\n", r.DataLossPerFault)
+	if s := r.ArrayStats; s != nil {
+		fmt.Fprintf(&b, "  array:    rmw=%d holes=%d reconstructions=%d redirects=%d divergences=%d hits=%d misses=%d destages=%d dropped=%d\n",
+			s.ParityRMWs, s.WriteHoles, s.Reconstructions, s.RedirectedReads, s.Divergences,
+			s.CacheHits, s.CacheMisses, s.Destages, s.LinesDropped)
+	}
+	for _, m := range r.Members {
+		fmt.Fprintf(&b, "  member %d (%s, %s): reads=%d writes=%d errors=%d deaths=%d dirty-lost=%d | data=%d fwa=%d ioerr=%d\n",
+			m.Index, m.Name, m.Role, m.Reads, m.Writes, m.Errors, m.Deaths, m.DirtyPagesLost,
+			m.DataFailures, m.FWA, m.IOErrors)
+	}
 	if r.RequestedIOPS > 0 {
 		fmt.Fprintf(&b, "  iops: requested %.0f responded %.0f\n", r.RequestedIOPS, r.RespondedIOPS)
 	} else {

@@ -5,10 +5,13 @@ import (
 	"errors"
 	"fmt"
 
+	"powerfail/internal/addr"
 	"powerfail/internal/blktrace"
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
+	"powerfail/internal/hdd"
 	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
 	"powerfail/internal/workload"
 )
 
@@ -99,9 +102,9 @@ func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
 	if spec.MaxSimTime == 0 {
 		spec.MaxSimTime = 6 * 60 * sim.Minute
 	}
-	if cap := int64(p.Dev.Profile().CapacityGB) << 30; spec.Workload.WSSBytes > cap {
-		return nil, fmt.Errorf("core: workload WSS %d GB exceeds the drive's %d GB capacity",
-			spec.Workload.WSSBytes>>30, p.Dev.Profile().CapacityGB)
+	if cap := p.Dev.UserPages() << addr.PageShift; spec.Workload.WSSBytes > cap {
+		return nil, fmt.Errorf("core: workload WSS %d GB exceeds the device's %d GB capacity",
+			spec.Workload.WSSBytes>>30, cap>>30)
 	}
 	gen, err := workload.NewGenerator(spec.Workload, p.RNG.Fork("workload"))
 	if err != nil {
@@ -113,6 +116,9 @@ func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
 		gen:      gen,
 		analyzer: NewAnalyzer(p.K, p.Opts.RecheckWindow),
 		rng:      p.RNG.Fork("runner"),
+	}
+	if p.Array != nil {
+		r.analyzer.SetAttribution(len(p.Array.Members()), p.Array.Attribute)
 	}
 	return r, nil
 }
@@ -427,7 +433,7 @@ func (r *Runner) report() *Report {
 	}
 	rep := &Report{
 		Name:          r.spec.Name,
-		Profile:       r.p.Dev.Profile().Name,
+		Profile:       r.p.Dev.Name(),
 		Spec:          r.spec,
 		SimDuration:   r.p.K.Now().Sub(r.startedAt),
 		ActiveTime:    active,
@@ -438,11 +444,43 @@ func (r *Runner) report() *Report {
 		Errored:       c.Errored,
 		NotIssued:     c.NotIssued,
 		Faults:        r.faultsDone,
+		Cuts:          r.p.Sched.Cuts(),
+		Restores:      r.p.Sched.Restores(),
 		Counters:      c,
 		PerFault:      r.analyzer.PerFault(),
-		DeviceStats:   r.p.Dev.Stats(),
 		HostStats:     r.p.Host.Stats(),
 		RequestedIOPS: r.spec.Workload.IOPS,
+	}
+	if r.p.SSD != nil {
+		st := r.p.SSD.Stats()
+		rep.DeviceStats = &st
+	}
+	if r.p.HDD != nil {
+		st := r.p.HDD.Stats()
+		rep.HDDStats = &st
+	}
+	if arr := r.p.Array; arr != nil {
+		st := arr.Stats()
+		rep.ArrayStats = &st
+		fails := r.analyzer.MemberFailures()
+		for i, ms := range arr.Members() {
+			mr := MemberReport{
+				Index: i, Name: ms.Name, Role: ms.Role,
+				Reads: ms.Reads, Writes: ms.Writes, Errors: ms.Errors,
+			}
+			switch d := arr.Drive(i).(type) {
+			case *ssd.Device:
+				ds := d.Stats()
+				mr.Deaths, mr.Recoveries, mr.DirtyPagesLost = ds.Deaths, ds.Recoveries, ds.DirtyPagesLost
+			case *hdd.Disk:
+				ds := d.Stats()
+				mr.Deaths, mr.Recoveries, mr.DirtyPagesLost = ds.Deaths, ds.Recoveries, ds.CacheLost
+			}
+			if i < len(fails) {
+				mr.DataFailures, mr.FWA, mr.IOErrors = fails[i].DataFailures, fails[i].FWA, fails[i].IOErrors
+			}
+			rep.Members = append(rep.Members, mr)
+		}
 	}
 	if active > 0 {
 		// Responded IOPS counts only completions during powered workload

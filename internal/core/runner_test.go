@@ -245,8 +245,8 @@ func TestHardwareChainExercised(t *testing.T) {
 	if p.PSU.Cuts() != 4 || p.PSU.Restores() != 4 {
 		t.Fatalf("psu cuts=%d restores=%d", p.PSU.Cuts(), p.PSU.Restores())
 	}
-	if p.Dev.Stats().Deaths != 4 || p.Dev.Stats().Recoveries != 4 {
-		t.Fatalf("device deaths=%d recoveries=%d", p.Dev.Stats().Deaths, p.Dev.Stats().Recoveries)
+	if p.SSD.Stats().Deaths != 4 || p.SSD.Stats().Recoveries != 4 {
+		t.Fatalf("device deaths=%d recoveries=%d", p.SSD.Stats().Deaths, p.SSD.Stats().Recoveries)
 	}
 }
 

@@ -101,10 +101,14 @@ type Disk struct {
 
 	available bool
 	busyUntil sim.Time
+	spinup    *sim.Timer // pending recovery; cancelled by a new power loss
 	// inFlightWrite tracks the page being written at any instant so a cut
 	// can tear exactly that sector.
 	cur   *writeJob
 	stats Stats
+
+	readyListeners []func()
+	downListeners  []func()
 }
 
 type cacheEnt struct {
@@ -145,11 +149,27 @@ func New(k *sim.Kernel, r *sim.RNG, prof Profile, psu *power.PSU) (*Disk, error)
 // Profile returns the drive profile.
 func (d *Disk) Profile() Profile { return d.prof }
 
+// Name implements blockdev.Drive.
+func (d *Disk) Name() string { return d.prof.Name }
+
+// UserPages implements blockdev.Drive.
+func (d *Disk) UserPages() int64 { return d.prof.UserPages() }
+
 // Stats returns the counters.
 func (d *Disk) Stats() Stats { return d.stats }
 
 // Available reports whether the drive answers the host.
 func (d *Disk) Available() bool { return d.available }
+
+// Ready implements blockdev.Drive.
+func (d *Disk) Ready() bool { return d.available }
+
+// NotifyReady registers fn to run every time the drive finishes spin-up
+// after a power loss.
+func (d *Disk) NotifyReady(fn func()) { d.readyListeners = append(d.readyListeners, fn) }
+
+// NotifyDown registers fn to run every time the drive drops off the bus.
+func (d *Disk) NotifyDown(fn func()) { d.downListeners = append(d.downListeners, fn) }
 
 func (d *Disk) serviceStart() sim.Time {
 	now := d.k.Now()
@@ -254,11 +274,20 @@ func (d *Disk) flushAll() []cacheEnt {
 // torn; any volatile write-cache content is gone; the drive drops off the
 // bus until power and spin-up return.
 func (d *Disk) onPowerLoss() {
+	// A cut during spin-up aborts the recovery; the drive stays off the
+	// bus until the next power-good restarts it.
+	if d.spinup != nil {
+		d.spinup.Stop()
+		d.spinup = nil
+	}
 	if !d.available {
 		return
 	}
 	d.available = false
 	d.stats.Deaths++
+	for _, fn := range d.downListeners {
+		fn()
+	}
 	if job := d.cur; job != nil {
 		job.timer.Stop()
 		elapsed := d.k.Now().Sub(job.startAt)
@@ -282,11 +311,15 @@ func (d *Disk) onPowerLoss() {
 }
 
 func (d *Disk) onPowerGood() {
-	if d.available {
+	if d.available || d.spinup != nil {
 		return
 	}
-	d.k.After(d.prof.RecoveryTime, func() {
+	d.spinup = d.k.After(d.prof.RecoveryTime, func() {
+		d.spinup = nil
 		d.available = true
 		d.stats.Recoveries++
+		for _, fn := range d.readyListeners {
+			fn()
+		}
 	})
 }

@@ -199,3 +199,28 @@ func TestValidation(t *testing.T) {
 		t.Fatal("default profile invalid")
 	}
 }
+
+// TestCutDuringSpinUpAbortsRecovery: a second power loss inside the
+// spin-up window must cancel the pending recovery — the drive may not
+// come back on the bus while the rail is down, and the next power-good
+// must start a fresh spin-up.
+func TestCutDuringSpinUpAbortsRecovery(t *testing.T) {
+	r := newRig(t, DefaultProfile())
+	r.psu.PowerOff()
+	r.k.RunFor(2 * sim.Second)
+	r.psu.PowerOn()
+	r.k.RunFor(500 * sim.Millisecond) // mid spin-up (RecoveryTime is 2 s)
+	r.psu.PowerOff()
+	r.k.RunFor(5 * sim.Second)
+	if r.disk.Available() {
+		t.Fatal("drive became available with the rail down")
+	}
+	ready := false
+	r.disk.NotifyReady(func() { ready = true })
+	r.psu.PowerOn()
+	r.k.RunFor(3 * sim.Second)
+	if !r.disk.Available() || !ready {
+		t.Fatalf("drive never recovered after the real power-good (available=%v ready=%v)",
+			r.disk.Available(), ready)
+	}
+}

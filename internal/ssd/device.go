@@ -111,6 +111,7 @@ type Device struct {
 	hasDirtySince  bool
 	firstDirtyAt   sim.Time
 	readyListeners []func()
+	downListeners  []func()
 
 	stats Stats
 }
@@ -163,6 +164,15 @@ func New(k *sim.Kernel, r *sim.RNG, prof Profile, psu *power.PSU) (*Device, erro
 // Profile returns the normalized drive profile.
 func (d *Device) Profile() Profile { return d.prof }
 
+// Name implements blockdev.Drive.
+func (d *Device) Name() string { return d.prof.Name }
+
+// UserPages implements blockdev.Drive.
+func (d *Device) UserPages() int64 { return d.prof.UserPages() }
+
+// Ready implements blockdev.Drive: the drive answers the host.
+func (d *Device) Ready() bool { return d.state == StateReady }
+
 // State returns the lifecycle state.
 func (d *Device) State() State { return d.state }
 
@@ -194,6 +204,10 @@ func (d *Device) CacheStats() dram.Stats {
 // NotifyReady registers fn to run every time the device transitions to
 // Ready after a recovery.
 func (d *Device) NotifyReady(fn func()) { d.readyListeners = append(d.readyListeners, fn) }
+
+// NotifyDown registers fn to run every time the host link drops (rail
+// below the brownout voltage).
+func (d *Device) NotifyDown(fn func()) { d.downListeners = append(d.downListeners, fn) }
 
 // perPageProg is the effective channel occupancy of one page program
 // (multi-die pipelining folded into a bandwidth figure).
@@ -658,6 +672,9 @@ func (d *Device) onBrownout() {
 		d.recoveryTimer = nil
 	}
 	d.state = StateUnavailable
+	for _, fn := range d.downListeners {
+		fn()
+	}
 	// The host notices the link dropping shortly after; every outstanding
 	// command errors. Internal work (flusher, channels) keeps running off
 	// the decaying rail until the die voltage.

@@ -26,6 +26,16 @@
 //	        RequestsPerFault: 16,
 //	    })
 //
+// The device side of the platform is selected by Options.Topology: the
+// single SSD of the paper (the default), a single HDD comparator, or a
+// multi-device array — RAID-0/1/5 over SSDs, or an SSD cache fronting an
+// HDD in write-back or write-through policy. Every member of an array
+// hangs off the platform's one simulated PSU, exactly like the drives in
+// the paper's rig share one Arduino-switched ATX supply, so a power cut
+// is correlated across the whole array: RAID-5 write holes, mirror
+// divergence and lost dirty cache lines emerge from the per-device models
+// composing, not from scripted outcomes.
+//
 // The paper's hardware — an Arduino-controlled ATX supply whose slow
 // capacitive discharge the drive under test experiences — and the drives
 // themselves are modelled in detail (see DESIGN.md); the software part of
@@ -34,16 +44,19 @@
 // IO-error taxonomy) is implemented as published.
 //
 // The Experiments catalog reproduces every figure of the paper's
-// evaluation; cmd/sweep drives it from the command line (-parallel fans
+// evaluation, plus the "array" and "cache" figures over the composite
+// topologies; cmd/sweep drives it from the command line (-parallel fans
 // out, -json emits the machine-readable CampaignResult).
 package powerfail
 
 import (
 	"context"
 
+	"powerfail/internal/array"
 	"powerfail/internal/blockdev"
 	"powerfail/internal/core"
 	"powerfail/internal/flash"
+	"powerfail/internal/hdd"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
@@ -78,12 +91,32 @@ type (
 
 	// SSDProfile describes a drive model (Table I row).
 	SSDProfile = ssd.Profile
+	// HDDProfile describes a hard disk comparator drive.
+	HDDProfile = hdd.Profile
 	// PSUConfig is the supply's electrical model.
 	PSUConfig = power.Config
 	// HostConfig is the block-layer configuration.
 	HostConfig = blockdev.Config
 	// CellKind is the flash cell technology (SLC/MLC/TLC).
 	CellKind = flash.CellKind
+
+	// Topology selects the device side of the platform: single SSD
+	// (default), single HDD, or a multi-device array whose members all
+	// share the one simulated PSU.
+	Topology = core.Topology
+	// TopologyKind enumerates the topologies.
+	TopologyKind = core.TopologyKind
+	// ArrayConfig describes a composite device (RAID-0/1/5 members and
+	// stripe size, or the SSD-cache-over-HDD pair and its policy).
+	ArrayConfig = array.Config
+	// ArrayLevel selects striping, mirroring, parity, or caching.
+	ArrayLevel = array.Level
+	// CachePolicy selects write-back or write-through for Cached arrays.
+	CachePolicy = array.CachePolicy
+	// ArrayStats are the array-level counters of a Report.
+	ArrayStats = array.Stats
+	// MemberReport is one array member's slice of a Report.
+	MemberReport = core.MemberReport
 
 	// Duration and Time are simulated-clock units.
 	Duration = sim.Duration
@@ -114,6 +147,24 @@ const (
 	SLC = flash.SLC
 	MLC = flash.MLC
 	TLC = flash.TLC
+)
+
+// Device topologies.
+const (
+	TopoSSD   = core.TopoSSD
+	TopoHDD   = core.TopoHDD
+	TopoArray = core.TopoArray
+)
+
+// Array levels and cache policies.
+const (
+	RAID0  = array.RAID0
+	RAID1  = array.RAID1
+	RAID5  = array.RAID5
+	Cached = array.Cached
+
+	WriteBack    = array.WriteBack
+	WriteThrough = array.WriteThrough
 )
 
 // Simulated time units.
@@ -163,3 +214,31 @@ func DefaultWorkload() Workload { return workload.DefaultSpec() }
 
 // DefaultPSU returns the Fig. 4-calibrated supply model.
 func DefaultPSU() PSUConfig { return power.DefaultConfig() }
+
+// DefaultHDD returns the write-through desktop drive model.
+func DefaultHDD() HDDProfile { return hdd.DefaultProfile() }
+
+// HDDTopology selects a single hard disk behind the block layer.
+func HDDTopology(prof HDDProfile) Topology {
+	return Topology{Kind: TopoHDD, HDD: prof}
+}
+
+// ArrayTopology selects a composite device behind the block layer.
+func ArrayTopology(cfg ArrayConfig) Topology {
+	return Topology{Kind: TopoArray, Array: cfg}
+}
+
+// RAIDConfig builds an n-member array of identical drives at the given
+// level (RAID0, RAID1 or RAID5).
+func RAIDConfig(level ArrayLevel, n int, member SSDProfile) ArrayConfig {
+	members := make([]SSDProfile, n)
+	for i := range members {
+		members[i] = member
+	}
+	return ArrayConfig{Level: level, Members: members}
+}
+
+// CacheConfig builds an SSD-cache-over-HDD array with the given policy.
+func CacheConfig(cache SSDProfile, backing HDDProfile, policy CachePolicy) ArrayConfig {
+	return ArrayConfig{Level: Cached, Cache: cache, Backing: backing, Policy: policy}
+}

@@ -40,10 +40,15 @@ func TestProfiles(t *testing.T) {
 	}
 }
 
+// catalogFigures is every figure id ItemsFor accepts besides "all".
+var catalogFigures = []string{
+	"tablei", "window", "fig5", "fig6", "seqrand", "fig7", "fig8", "fig9",
+	"ablation", "array", "cache",
+}
+
 func TestCatalogCoverage(t *testing.T) {
-	figures := []string{"tablei", "window", "fig5", "fig6", "seqrand", "fig7", "fig8", "fig9", "ablation"}
 	total := 0
-	for _, fig := range figures {
+	for _, fig := range catalogFigures {
 		items, err := powerfail.ItemsFor(fig, 0.01)
 		if err != nil {
 			t.Fatalf("%s: %v", fig, err)
@@ -70,6 +75,66 @@ func TestCatalogCoverage(t *testing.T) {
 	}
 	if _, err := powerfail.ItemsFor("nope", 1); err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+	if _, err := powerfail.ItemsFor("", 1); err == nil {
+		t.Fatal("empty figure id accepted")
+	}
+}
+
+// TestCatalogSeedsDeterministic: two ItemsFor calls produce the same item
+// seeds — in particular for the new composite-topology figures, whose
+// platforms are built from several forked RNG streams.
+func TestCatalogSeedsDeterministic(t *testing.T) {
+	for _, fig := range []string{"array", "cache"} {
+		a, err := powerfail.ItemsFor(fig, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := powerfail.ItemsFor(fig, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: item count diverged", fig)
+		}
+		seen := map[uint64]string{}
+		for i := range a {
+			if a[i].Opts.Seed == 0 {
+				t.Fatalf("%s/%s: zero seed", fig, a[i].Label)
+			}
+			if a[i].Opts.Seed != b[i].Opts.Seed || a[i].Label != b[i].Label {
+				t.Fatalf("%s item %d not deterministic: %+v vs %+v", fig, i, a[i], b[i])
+			}
+			if prev, dup := seen[a[i].Opts.Seed]; dup {
+				t.Fatalf("%s: %s and %s share seed %d", fig, prev, a[i].Label, a[i].Opts.Seed)
+			}
+			seen[a[i].Opts.Seed] = a[i].Label
+		}
+		if a[0].Opts.Topology.Kind != powerfail.TopoArray {
+			t.Fatalf("%s items do not use the array topology", fig)
+		}
+	}
+}
+
+// TestArrayFigureRuns: the array catalog runs end to end through the
+// public API with per-member attribution in every report.
+func TestArrayFigureRuns(t *testing.T) {
+	items, err := powerfail.ItemsFor("array", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := powerfail.RunCatalog(items[:2], nil) // raid0x2 and raid0x4
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Item.Label, r.Err)
+		}
+		if r.Report.ArrayStats == nil || len(r.Report.Members) == 0 {
+			t.Fatalf("%s: no member attribution in report", r.Item.Label)
+		}
+		if r.Report.Cuts == 0 || r.Report.Restores == 0 {
+			t.Fatalf("%s: cut/restore counts missing: %d/%d",
+				r.Item.Label, r.Report.Cuts, r.Report.Restores)
+		}
 	}
 }
 
