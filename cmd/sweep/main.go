@@ -18,10 +18,13 @@
 // Ctrl-C cancels the campaign and prints the completed subset.
 //
 // Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation
-// array cache all. -figure is an alias for -set:
+// array cache txn all; `sweep -list` enumerates them with titles and item
+// counts. -figure is an alias for -set:
 //
+//	sweep -list                             # discover the registered figures
 //	sweep -figure array -parallel 4 -json   # RAID-0/1/5 under correlated faults
 //	sweep -figure cache -scale 0.5          # write-back vs write-through SSD cache
+//	sweep -figure txn -parallel 4           # WAL commits vs barrier policy and topology
 package main
 
 import (
@@ -47,7 +50,13 @@ func main() {
 	parallel := flag.Int("parallel", 1, "worker pool size (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit the CampaignResult as JSON instead of markdown")
 	verbose := flag.Bool("v", false, "print every experiment report")
+	list := flag.Bool("list", false, "list registered figure ids with titles and item counts, then exit")
 	flag.Parse()
+
+	if *list {
+		printFigureList(*scale)
+		return
+	}
 
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
@@ -145,8 +154,46 @@ func printSummaries(out *powerfail.CampaignResult) {
 	}
 }
 
+// printFigureList is the -list output: every registered campaign figure
+// with its title and item count, plus the campaign-less fig4.
+func printFigureList(scale float64) {
+	fmt.Printf("%-10s %6s  %s\n", "figure", "items", "title")
+	for _, fi := range powerfail.Figures(scale) {
+		fmt.Printf("%-10s %6d  %s\n", fi.ID, fi.Items, fi.Title)
+	}
+	fmt.Printf("%-10s %6s  %s\n", "fig4", "-", "Fig. 4 — PSU discharge curves (no campaign)")
+	fmt.Printf("%-10s %6s  %s\n", "all", "", "every campaign figure above")
+	fmt.Printf("\nitem counts at -scale %g\n", scale)
+}
+
 func printFigure(fig string, results []powerfail.CatalogResult) {
-	fmt.Printf("\n## %s\n\n", figureTitle(fig))
+	fmt.Printf("\n## %s\n\n", powerfail.FigureTitle(fig))
+	txnMode := false
+	for _, res := range results {
+		if res.Err == nil && res.Report != nil && res.Report.TxnStats != nil {
+			txnMode = true
+			break
+		}
+	}
+	if txnMode {
+		fmt.Printf("| point | faults | committed | intact | lost-commit | torn | out-of-order | unacked | scan pages/fault |\n")
+		fmt.Printf("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, res := range results {
+			if res.Err != nil {
+				fmt.Printf("| %s | ERROR: %v |\n", res.Item.Label, res.Err)
+				continue
+			}
+			r, s := res.Report, res.Report.TxnStats
+			scanPerFault := 0.0
+			if r.Faults > 0 {
+				scanPerFault = float64(s.ScanPages) / float64(r.Faults)
+			}
+			fmt.Printf("| %s | %d | %d | %d | %d | %d | %d | %d | %.0f |\n",
+				res.Item.Label, r.Faults, s.Committed, s.Intact, s.LostCommits,
+				s.Torn, s.OutOfOrder, s.Unacked, scanPerFault)
+		}
+		return
+	}
 	fmt.Printf("| point | faults | data failures | FWA | IO errors | data loss/fault | responded IOPS |\n")
 	fmt.Printf("|---|---:|---:|---:|---:|---:|---:|\n")
 	for _, res := range results {
@@ -158,35 +205,6 @@ func printFigure(fig string, results []powerfail.CatalogResult) {
 		fmt.Printf("| %s | %d | %d | %d | %d | %.2f | %.0f |\n",
 			res.Item.Label, r.Faults, r.Counters.DataFailures, r.Counters.FWA,
 			r.Counters.IOErrors, r.DataLossPerFault, r.RespondedIOPS)
-	}
-}
-
-func figureTitle(fig string) string {
-	switch fig {
-	case "fig5":
-		return "Fig. 5 — impact of request type (read percentage)"
-	case "fig6":
-		return "Fig. 6 — impact of workload working set size"
-	case "fig7":
-		return "Fig. 7 — impact of request size"
-	case "fig8":
-		return "Fig. 8 — impact of requested IOPS"
-	case "fig9":
-		return "Fig. 9 — impact of access sequence (RAR/RAW/WAR/WAW)"
-	case "window":
-		return "Sec. IV-A — data loss vs fault delay after request completion"
-	case "seqrand":
-		return "Sec. IV-D — random vs sequential access pattern"
-	case "tablei":
-		return "Table I — drive behaviour under the base workload"
-	case "ablation":
-		return "Ablations — design-choice sensitivity"
-	case "array":
-		return "Arrays — RAID-0/1/5 under correlated power faults"
-	case "cache":
-		return "SSD cache over HDD — write-back vs write-through under faults"
-	default:
-		return fig
 	}
 }
 

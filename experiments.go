@@ -3,6 +3,7 @@ package powerfail
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"powerfail/internal/array"
 	"powerfail/internal/core"
@@ -10,6 +11,7 @@ import (
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/txn"
 	"powerfail/internal/workload"
 )
 
@@ -434,55 +436,154 @@ func CacheItems(scale float64) []CatalogItem {
 	return items
 }
 
-// AllItems returns the full catalog at the given scale.
-func AllItems(scale float64) []CatalogItem {
+// TxnItems is the "txn" figure: the transactional WAL application layer
+// under power faults, crossing commit barrier policy (flush-per-commit,
+// group commit, no-flush) with device topology (single SSD, write-through
+// HDD) and cut timing (early cuts land mid-transaction more often; late
+// cuts give the volatile cache time to lie); >=40 faults per point at
+// scale 1. The y-axis material is Report.TxnStats: lost commits, torn
+// transactions and out-of-order durability per fault.
+func TxnItems(scale float64) []CatalogItem {
+	barriers := []struct {
+		tag string
+		b   txn.Barrier
+	}{
+		{"flush", txn.FlushPerCommit},
+		{"group", txn.GroupCommit},
+		{"noflush", txn.NoFlush},
+	}
+	topos := []struct {
+		tag  string
+		opts func(seed uint64) Options
+	}{
+		{"ssd", func(seed uint64) Options {
+			return Options{Seed: seed, Profile: arrayMember()}
+		}},
+		{"hdd", func(seed uint64) Options {
+			back := hdd.DefaultProfile()
+			back.CapacityGB = 64
+			return Options{Seed: seed, Topology: HDDTopology(back)}
+		}},
+	}
+	timings := []struct {
+		tag string
+		rpf int
+	}{
+		{"early", 10},
+		{"late", 40},
+	}
 	var items []CatalogItem
-	items = append(items, TableIItems(scale)...)
-	items = append(items, WindowItems(scale)...)
-	items = append(items, Fig5Items(scale)...)
-	items = append(items, Fig6Items(scale)...)
-	items = append(items, SeqRandItems(scale)...)
-	items = append(items, Fig7Items(scale)...)
-	items = append(items, Fig8Items(scale)...)
-	items = append(items, Fig9Items(scale)...)
-	items = append(items, AblationItems(scale)...)
-	items = append(items, ArrayItems(scale)...)
-	items = append(items, CacheItems(scale)...)
+	i := 0
+	for _, bar := range barriers {
+		for _, topo := range topos {
+			for _, tm := range timings {
+				cfg := txn.DefaultConfig()
+				cfg.Barrier = bar.b
+				// A batch of 4 lets group commit make progress even on the
+				// mechanical comparator between early cuts.
+				cfg.GroupEvery = 4
+				opts := topo.opts(1500 + uint64(i))
+				opts.App = TxnApp(cfg)
+				label := fmt.Sprintf("%s/%s/%s", bar.tag, topo.tag, tm.tag)
+				items = append(items, CatalogItem{
+					Figure: "txn",
+					Label:  label,
+					X:      float64(i),
+					Opts:   opts,
+					Spec: Experiment{
+						Name:             "txn-" + bar.tag + "-" + topo.tag + "-" + tm.tag,
+						Faults:           scaled(40, scale),
+						RequestsPerFault: tm.rpf,
+					},
+				})
+				i++
+			}
+		}
+	}
 	return items
 }
 
-// ItemsFor returns the catalog slice for a figure id ("fig5".."fig9",
-// "fig4", "window", "seqrand", "tablei", "ablation", "array", "cache",
-// "all").
-func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
-	switch figure {
-	case "fig5":
-		return Fig5Items(scale), nil
-	case "fig6":
-		return Fig6Items(scale), nil
-	case "fig7":
-		return Fig7Items(scale), nil
-	case "fig8":
-		return Fig8Items(scale), nil
-	case "fig9":
-		return Fig9Items(scale), nil
-	case "window":
-		return WindowItems(scale), nil
-	case "seqrand":
-		return SeqRandItems(scale), nil
-	case "tablei":
-		return TableIItems(scale), nil
-	case "ablation":
-		return AblationItems(scale), nil
-	case "array":
-		return ArrayItems(scale), nil
-	case "cache":
-		return CacheItems(scale), nil
-	case "all":
-		return AllItems(scale), nil
-	default:
-		return nil, fmt.Errorf("powerfail: unknown figure %q", figure)
+// FigureInfo describes one registered figure id for discovery (the sweep
+// tool's -list).
+type FigureInfo struct {
+	ID    string
+	Title string
+	Items int
+}
+
+// figureEntry registers a figure id, its display title and its item
+// builder. ItemsFor, AllItems and Figures all derive from this table, so
+// a new figure registers in one place.
+type figureEntry struct {
+	id    string
+	title string
+	build func(scale float64) []CatalogItem
+}
+
+var figureRegistry = []figureEntry{
+	{"tablei", "Table I — drive behaviour under the base workload", TableIItems},
+	{"window", "Sec. IV-A — data loss vs fault delay after request completion", WindowItems},
+	{"fig5", "Fig. 5 — impact of request type (read percentage)", Fig5Items},
+	{"fig6", "Fig. 6 — impact of workload working set size", Fig6Items},
+	{"seqrand", "Sec. IV-D — random vs sequential access pattern", SeqRandItems},
+	{"fig7", "Fig. 7 — impact of request size", Fig7Items},
+	{"fig8", "Fig. 8 — impact of requested IOPS", Fig8Items},
+	{"fig9", "Fig. 9 — impact of access sequence (RAR/RAW/WAR/WAW)", Fig9Items},
+	{"ablation", "Ablations — design-choice sensitivity", AblationItems},
+	{"array", "Arrays — RAID-0/1/5 under correlated power faults", ArrayItems},
+	{"cache", "SSD cache over HDD — write-back vs write-through under faults", CacheItems},
+	{"txn", "Transactions — WAL barrier × topology × cut timing under faults", TxnItems},
+}
+
+// AllItems returns the full catalog at the given scale, in registry order.
+func AllItems(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for _, e := range figureRegistry {
+		items = append(items, e.build(scale)...)
 	}
+	return items
+}
+
+// Figures enumerates the registered campaign figures with their titles
+// and item counts at the given scale (fig4 runs no campaign and is not
+// listed).
+func Figures(scale float64) []FigureInfo {
+	out := make([]FigureInfo, 0, len(figureRegistry))
+	for _, e := range figureRegistry {
+		out = append(out, FigureInfo{ID: e.id, Title: e.title, Items: len(e.build(scale))})
+	}
+	return out
+}
+
+// FigureTitle returns the display title for a figure id (the id itself
+// when unknown).
+func FigureTitle(id string) string {
+	for _, e := range figureRegistry {
+		if e.id == id {
+			return e.title
+		}
+	}
+	return id
+}
+
+// ItemsFor returns the catalog slice for a figure id ("fig5".."fig9",
+// "window", "seqrand", "tablei", "ablation", "array", "cache", "txn",
+// "all"). Unknown ids error with the list of registered ids.
+func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
+	if figure == "all" {
+		return AllItems(scale), nil
+	}
+	for _, e := range figureRegistry {
+		if e.id == figure {
+			return e.build(scale), nil
+		}
+	}
+	known := make([]string, 0, len(figureRegistry)+1)
+	for _, e := range figureRegistry {
+		known = append(known, e.id)
+	}
+	known = append(known, "all")
+	return nil, fmt.Errorf("powerfail: unknown figure %q (registered: %s)", figure, strings.Join(known, " "))
 }
 
 // VoltagePoint samples the PSU discharge curve.

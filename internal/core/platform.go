@@ -10,7 +10,22 @@ import (
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/txn"
 )
+
+// AppConfig selects the application layer that drives the platform instead
+// of the raw workload generator. The zero value runs no application: the
+// paper's plain IO generator issues the requests.
+type AppConfig struct {
+	// Txn, when non-nil, runs the write-ahead-log transaction engine on
+	// top of the device and the crash-consistency oracle after every
+	// fault. The experiment's Workload is ignored (the engine generates
+	// its own IO); open-loop pacing (Workload.IOPS) is not supported.
+	Txn *txn.Config
+}
+
+// Enabled reports whether any application layer is configured.
+func (a AppConfig) Enabled() bool { return a.Txn != nil }
 
 // TopologyKind selects what hangs behind the block layer.
 type TopologyKind int
@@ -61,6 +76,9 @@ type Options struct {
 	Profile ssd.Profile
 	// Topology selects the device side (single SSD by default).
 	Topology Topology
+	// App selects an optional application layer above the block device
+	// (transactional WAL engine + crash-consistency oracle).
+	App AppConfig
 	// Host overrides the block-layer configuration.
 	Host blockdev.Config
 	// PSU overrides the supply's electrical model.

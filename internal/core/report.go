@@ -9,6 +9,7 @@ import (
 	"powerfail/internal/hdd"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/txn"
 )
 
 // Report is the outcome of one experiment: the failure counts the paper's
@@ -56,6 +57,12 @@ type Report struct {
 	// attributed failures.
 	ArrayStats *array.Stats   `json:"array_stats,omitempty"`
 	Members    []MemberReport `json:"members,omitempty"`
+
+	// TxnStats is set when the transactional application layer ran: the
+	// oracle's per-class verdict counts (intact / lost-commit / torn /
+	// out-of-order), the oldest lost commit sequence, and the recovery
+	// scan lengths.
+	TxnStats *txn.Stats `json:"txn_stats,omitempty"`
 }
 
 // MemberReport is one array member's view of the experiment: how much it
@@ -113,6 +120,13 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  member %d (%s, %s): reads=%d writes=%d errors=%d deaths=%d dirty-lost=%d | data=%d fwa=%d ioerr=%d\n",
 			m.Index, m.Name, m.Role, m.Reads, m.Writes, m.Errors, m.Deaths, m.DirtyPagesLost,
 			m.DataFailures, m.FWA, m.IOErrors)
+	}
+	if s := r.TxnStats; s != nil {
+		fmt.Fprintf(&b, "  %s\n", s)
+		if s.RecoveryScans > 0 {
+			fmt.Fprintf(&b, "  txn recovery: %d scans, %.0f log pages/scan; %d checkpoints, %d flushes\n",
+				s.RecoveryScans, float64(s.ScanPages)/float64(s.RecoveryScans), s.Checkpoints, s.Flushes)
+		}
 	}
 	if r.RequestedIOPS > 0 {
 		fmt.Fprintf(&b, "  iops: requested %.0f responded %.0f\n", r.RequestedIOPS, r.RespondedIOPS)

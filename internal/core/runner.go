@@ -12,6 +12,7 @@ import (
 	"powerfail/internal/hdd"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/txn"
 	"powerfail/internal/workload"
 )
 
@@ -33,9 +34,19 @@ type ExperimentSpec struct {
 	MaxSimTime sim.Duration `json:"max_sim_time_ns,omitempty"`
 }
 
-// Validate checks the specification.
-func (s ExperimentSpec) Validate() error {
-	if err := s.Workload.Validate(); err != nil {
+// Validate checks the specification for the plain-workload configuration.
+func (s ExperimentSpec) Validate() error { return s.validateFor(false) }
+
+// validateFor checks the specification. With an application layer the
+// Workload is ignored by the runner (the application generates its own
+// IO), so only the fault-cycle fields are checked — except that open-loop
+// pacing is rejected, because the application is inherently closed-loop.
+func (s ExperimentSpec) validateFor(app bool) error {
+	if app {
+		if s.Workload.IOPS > 0 {
+			return fmt.Errorf("core: application layer is closed-loop; Workload.IOPS must be 0")
+		}
+	} else if err := s.Workload.Validate(); err != nil {
 		return err
 	}
 	if s.Faults <= 0 {
@@ -59,6 +70,7 @@ const (
 	phaseFaulting              // power off, waiting for discharge floor
 	phaseRestored              // power restored, waiting for device ready
 	phaseVerify                // verification reads in progress
+	phaseOracle                // application recovery: log scan + verdicts
 	phaseDone
 )
 
@@ -85,37 +97,52 @@ type Runner struct {
 	verifyQueue []*Packet
 	verifyPos   int
 
-	activeSince   sim.Time
-	activeTotal   sim.Duration
-	startedAt     sim.Time
-	timedOut      bool
-	faultErrored  bool // open loop: first error observed this fault cycle
-	err           error
-	verifyRetries int
+	// Application layer (txn mode): the engine replaces the workload
+	// generator as the IO source, and after each fault's verification pass
+	// the oracle reads the log and home pages back for its verdicts.
+	engine      *txn.Engine
+	oracleReads []addr.LPN
+	oraclePos   int
+
+	activeSince  sim.Time
+	activeTotal  sim.Duration
+	startedAt    sim.Time
+	timedOut     bool
+	faultErrored bool // open loop: first error observed this fault cycle
+	err          error
 }
 
 // NewRunner prepares an experiment on the platform.
 func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
-	if err := spec.Validate(); err != nil {
+	appMode := p.Opts.App.Enabled()
+	if err := spec.validateFor(appMode); err != nil {
 		return nil, err
 	}
 	if spec.MaxSimTime == 0 {
 		spec.MaxSimTime = 6 * 60 * sim.Minute
 	}
-	if cap := p.Dev.UserPages() << addr.PageShift; spec.Workload.WSSBytes > cap {
-		return nil, fmt.Errorf("core: workload WSS %d GB exceeds the device's %d GB capacity",
-			spec.Workload.WSSBytes>>30, cap>>30)
-	}
-	gen, err := workload.NewGenerator(spec.Workload, p.RNG.Fork("workload"))
-	if err != nil {
-		return nil, err
-	}
 	r := &Runner{
 		p:        p,
 		spec:     spec,
-		gen:      gen,
 		analyzer: NewAnalyzer(p.K, p.Opts.RecheckWindow),
 		rng:      p.RNG.Fork("runner"),
+	}
+	if appMode {
+		eng, err := txn.NewEngine(*p.Opts.App.Txn, p.K, p.RNG.Fork("txn"), p.Dev.UserPages())
+		if err != nil {
+			return nil, err
+		}
+		r.engine = eng
+	} else {
+		if cap := p.Dev.UserPages() << addr.PageShift; spec.Workload.WSSBytes > cap {
+			return nil, fmt.Errorf("core: workload WSS %d GB exceeds the device's %d GB capacity",
+				spec.Workload.WSSBytes>>30, cap>>30)
+		}
+		gen, err := workload.NewGenerator(spec.Workload, p.RNG.Fork("workload"))
+		if err != nil {
+			return nil, err
+		}
+		r.gen = gen
 	}
 	if p.Array != nil {
 		r.analyzer.SetAttribution(len(p.Array.Members()), p.Array.Attribute)
@@ -200,7 +227,12 @@ func (r *Runner) fillClosedLoop() {
 		if r.outstanding >= r.p.Opts.Concurrency {
 			return
 		}
-		r.issueOne()
+		if !r.issueOne() {
+			// The application has nothing issuable until a completion
+			// advances its state machine; never the case at zero
+			// outstanding, so the loop cannot stall.
+			return
+		}
 	}
 }
 
@@ -220,7 +252,10 @@ func (r *Runner) scheduleArrival() {
 	})
 }
 
-func (r *Runner) issueOne() {
+func (r *Runner) issueOne() bool {
+	if r.engine != nil {
+		return r.issueEngineIO()
+	}
 	item := r.gen.Next()
 	req := &blockdev.Request{
 		Pages: item.Pages,
@@ -237,6 +272,40 @@ func (r *Runner) issueOne() {
 	r.issuedTotal++
 	r.p.Host.Submit(req)
 	r.analyzer.OnIssue(req, item.Op)
+	return true
+}
+
+// issueEngineIO pulls the next IO from the transaction engine. Engine
+// writes are ordinary workload requests — they cross the block layer and
+// the analyzer's shadow exactly like generator traffic, which is what
+// makes the oracle's verdicts corroborable by the device-level taxonomy.
+// Barrier flushes carry no payload and are not analyzer packets.
+func (r *Runner) issueEngineIO() bool {
+	io, ok := r.engine.Next()
+	if !ok {
+		return false
+	}
+	req := &blockdev.Request{
+		LPN:   io.LPN,
+		Pages: io.Pages(),
+		Done: func(req *blockdev.Request) {
+			r.engine.Done(io, req.Err)
+			r.onWorkloadDone(req)
+		},
+	}
+	if io.Kind == txn.IOFlush {
+		req.Op = blockdev.OpFlush
+	} else {
+		req.Op = blockdev.OpWrite
+		req.Data = io.Data
+	}
+	r.outstanding++
+	r.issuedTotal++
+	r.p.Host.Submit(req)
+	if req.Op == blockdev.OpWrite {
+		r.analyzer.OnIssue(req, workload.OpWrite)
+	}
+	return true
 }
 
 func (r *Runner) onWorkloadDone(req *blockdev.Request) {
@@ -273,7 +342,7 @@ func (r *Runner) onWorkloadDone(req *blockdev.Request) {
 		} else if req.Err == nil {
 			r.reissueAfterThink()
 		}
-	case phaseVerify, phaseRestored, phasePaused:
+	case phaseVerify, phaseOracle, phaseRestored, phasePaused:
 		// Workload requests draining during a fault cycle; nothing to do.
 	}
 	r.maybeStartVerify()
@@ -286,7 +355,15 @@ func (r *Runner) reissueAfterThink() {
 	r.p.K.After(r.p.Opts.ThinkTime, func() {
 		if (r.ph == phaseRun || r.ph == phaseArming || r.ph == phaseFaulting) &&
 			r.outstanding < r.p.Opts.Concurrency {
-			r.issueOne()
+			if !r.issueOne() {
+				return
+			}
+			if r.engine != nil {
+				// One completion can unlock several engine IOs (a commit
+				// ACK queues a batch of home writes); keep the closed
+				// loop full outside fault cycles.
+				r.fillClosedLoop()
+			}
 		}
 	})
 }
@@ -372,31 +449,38 @@ func (r *Runner) verifyNext() {
 		r.verifyNext()
 		return
 	}
-	r.verifyRetries = 0
-	r.verifyRead(pkt)
+	r.controlRead(pkt.LPN, pkt.Pages, 0, func(result content.Data, err error) {
+		if err != nil {
+			r.analyzer.Classify(pkt, content.Zeroes(0), r.faultIdx)
+		} else {
+			r.analyzer.Classify(pkt, result, r.faultIdx)
+		}
+		r.verifyPos++
+		r.verifyNext()
+	})
 }
 
-func (r *Runner) verifyRead(pkt *Packet) {
+// controlRead issues a post-recovery platform read of [lpn, lpn+pages).
+// The drive should be ready, so errors are retried a few times before the
+// final outcome is surfaced to done (exactly once). Both the packet
+// verification pass and the transaction oracle read through here, so the
+// two classifiers always see the device through the same retry policy.
+func (r *Runner) controlRead(lpn addr.LPN, pages, attempt int, done func(result content.Data, err error)) {
 	req := &blockdev.Request{
 		Op:      blockdev.OpRead,
-		LPN:     pkt.LPN,
-		Pages:   pkt.Pages,
+		LPN:     lpn,
+		Pages:   pages,
 		Control: true,
 		Done: func(req *blockdev.Request) {
 			if req.Err != nil {
-				// The drive should be ready; retry a few times before
-				// treating the range as unreadable garbage.
-				if r.verifyRetries < 3 {
-					r.verifyRetries++
-					r.p.K.After(10*sim.Millisecond, func() { r.verifyRead(pkt) })
+				if attempt < 3 {
+					r.p.K.After(10*sim.Millisecond, func() { r.controlRead(lpn, pages, attempt+1, done) })
 					return
 				}
-				r.analyzer.Classify(pkt, content.Zeroes(0), r.faultIdx)
-			} else {
-				r.analyzer.Classify(pkt, req.Result, r.faultIdx)
+				done(content.Data{}, req.Err)
+				return
 			}
-			r.verifyPos++
-			r.verifyNext()
+			done(req.Result, nil)
 		},
 	}
 	r.p.Host.Submit(req)
@@ -404,6 +488,48 @@ func (r *Runner) verifyRead(pkt *Packet) {
 
 func (r *Runner) finishVerification() {
 	r.verifyQueue = nil
+	if r.engine != nil {
+		r.startOracle()
+		return
+	}
+	r.finishCycle()
+}
+
+// --- application recovery (txn mode) ---
+
+// startOracle runs the crash-consistency oracle after the device-level
+// verification pass: read the log region and the ledger's home pages
+// back, then let the engine replay the log and judge every acknowledged
+// transaction.
+func (r *Runner) startOracle() {
+	r.ph = phaseOracle
+	r.oracleReads = r.engine.RecoveryReads()
+	r.oraclePos = 0
+	r.oracleNext()
+}
+
+func (r *Runner) oracleNext() {
+	if r.oraclePos >= len(r.oracleReads) {
+		r.oracleReads = nil
+		r.engine.FinishRecovery()
+		r.finishCycle()
+		return
+	}
+	lpn := r.oracleReads[r.oraclePos]
+	r.controlRead(lpn, 1, 0, func(result content.Data, err error) {
+		if err != nil {
+			// Unreadable after retries: the oracle treats the page as torn.
+			r.engine.Observe(lpn, 0, err)
+		} else {
+			r.engine.Observe(lpn, result.Page(0), nil)
+		}
+		r.oraclePos++
+		r.oracleNext()
+	})
+}
+
+// finishCycle closes a fault cycle and resumes (or ends) the workload.
+func (r *Runner) finishCycle() {
 	r.faultsDone++
 	r.faultErrored = false
 	r.completedSinceFault = 0
@@ -450,6 +576,10 @@ func (r *Runner) report() *Report {
 		PerFault:      r.analyzer.PerFault(),
 		HostStats:     r.p.Host.Stats(),
 		RequestedIOPS: r.spec.Workload.IOPS,
+	}
+	if r.engine != nil {
+		ts := r.engine.Stats()
+		rep.TxnStats = &ts
 	}
 	if r.p.SSD != nil {
 		st := r.p.SSD.Stats()

@@ -1,0 +1,589 @@
+package txn
+
+import (
+	"fmt"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+)
+
+// Barrier selects the engine's commit durability policy.
+type Barrier int
+
+// Barrier policies.
+const (
+	// FlushPerCommit issues an OpFlush after every commit record and
+	// acknowledges the commit only when the flush completes: the strict
+	// fsync-per-transaction discipline.
+	FlushPerCommit Barrier = iota
+	// GroupCommit batches commits and issues one flush per GroupEvery
+	// acknowledgements-in-waiting; every covered commit acknowledges when
+	// the shared flush completes.
+	GroupCommit
+	// NoFlush acknowledges a commit as soon as the device ACKs the commit
+	// record write — exposing whatever volatile-cache lie the device tells.
+	NoFlush
+)
+
+// String implements fmt.Stringer.
+func (b Barrier) String() string {
+	switch b {
+	case FlushPerCommit:
+		return "flush"
+	case GroupCommit:
+		return "group"
+	case NoFlush:
+		return "noflush"
+	default:
+		return fmt.Sprintf("Barrier(%d)", int(b))
+	}
+}
+
+// MarshalJSON renders the barrier by name.
+func (b Barrier) MarshalJSON() ([]byte, error) { return []byte(`"` + b.String() + `"`), nil }
+
+// Config tunes the transaction engine.
+type Config struct {
+	// PagesPerTxn is the number of home pages each transaction updates
+	// (the atomicity unit; default 4).
+	PagesPerTxn int `json:"pages_per_txn"`
+	// Barrier is the commit durability policy.
+	Barrier Barrier `json:"barrier"`
+	// GroupEvery is the group-commit batch size (default 8; only used by
+	// the GroupCommit barrier).
+	GroupEvery int `json:"group_every,omitempty"`
+	// CheckpointEvery truncates the log after this many acknowledged
+	// commits (default 32). Checkpoints flush, rewrite nothing (home
+	// locations are written eagerly after each ack), stamp a checkpoint
+	// record, and reset the append cursor.
+	CheckpointEvery int `json:"checkpoint_every"`
+	// LogPages is the size of the on-device log region in 4 KiB pages
+	// (default 512). The home region is everything above it.
+	LogPages int `json:"log_pages"`
+}
+
+// DefaultConfig returns the stock engine tuning.
+func DefaultConfig() Config {
+	return Config{PagesPerTxn: 4, Barrier: FlushPerCommit, GroupEvery: 8, CheckpointEvery: 32, LogPages: 512}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.PagesPerTxn == 0 {
+		c.PagesPerTxn = d.PagesPerTxn
+	}
+	if c.GroupEvery == 0 {
+		c.GroupEvery = d.GroupEvery
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = d.CheckpointEvery
+	}
+	if c.LogPages == 0 {
+		c.LogPages = d.LogPages
+	}
+	return c
+}
+
+// Validate checks the configuration (after defaulting).
+func (c Config) Validate() error {
+	if c.PagesPerTxn < 1 || c.PagesPerTxn > 64 {
+		return fmt.Errorf("txn: PagesPerTxn %d out of range [1,64]", c.PagesPerTxn)
+	}
+	if c.Barrier < FlushPerCommit || c.Barrier > NoFlush {
+		return fmt.Errorf("txn: unknown barrier %d", int(c.Barrier))
+	}
+	if c.GroupEvery < 1 {
+		return fmt.Errorf("txn: GroupEvery must be positive, got %d", c.GroupEvery)
+	}
+	if c.CheckpointEvery < 1 {
+		return fmt.Errorf("txn: CheckpointEvery must be positive, got %d", c.CheckpointEvery)
+	}
+	if c.LogPages < c.PagesPerTxn+2 {
+		return fmt.Errorf("txn: LogPages %d cannot hold a %d-page transaction plus commit and checkpoint records",
+			c.LogPages, c.PagesPerTxn)
+	}
+	return nil
+}
+
+// IOKind tags an engine-issued IO.
+type IOKind int
+
+// Engine IO kinds.
+const (
+	IOLog        IOKind = iota // one WAL data-record page
+	IOCommit                   // one commit-record page
+	IOCheckpoint               // one checkpoint-record page
+	IOHome                     // one home-location data page
+	IOFlush                    // a commit-barrier or checkpoint flush
+)
+
+// String implements fmt.Stringer.
+func (k IOKind) String() string {
+	switch k {
+	case IOLog:
+		return "log"
+	case IOCommit:
+		return "commit"
+	case IOCheckpoint:
+		return "checkpoint"
+	case IOHome:
+		return "home"
+	case IOFlush:
+		return "flush"
+	default:
+		return fmt.Sprintf("IOKind(%d)", int(k))
+	}
+}
+
+// IO is one request the engine wants on the wire. Writes are always a
+// single page; flushes carry no pages. The unexported fields route the
+// completion back to the owning transaction state.
+type IO struct {
+	Kind IOKind
+	LPN  addr.LPN
+	Data content.Data // one-page payload for writes; empty for flushes
+
+	t     *Txn
+	page  int    // IOLog/IOHome: page index within the transaction
+	cover []*Txn // IOFlush: transactions acknowledged when it completes
+	ckpt  bool   // IOFlush: this flush opens a checkpoint
+}
+
+// Pages returns the request size in pages (0 for flushes).
+func (io IO) Pages() int {
+	if io.Kind == IOFlush {
+		return 0
+	}
+	return 1
+}
+
+// txnPage is one home page of a transaction and its WAL data record.
+type txnPage struct {
+	homeLPN addr.LPN
+	fp      content.Fingerprint // the new home content
+	slot    int                 // log slot holding the data record
+	recFP   content.Fingerprint // fingerprint of the encoded record page
+	seq     uint64
+}
+
+// Txn is one transaction's ground truth, kept in the engine's ledger until
+// it is retired by a checkpoint or judged by the oracle.
+type Txn struct {
+	id    uint64
+	pages []txnPage
+
+	commitSeq  uint64
+	commitSlot int
+	commitFP   content.Fingerprint
+
+	logIssued int // data-record writes handed to the runner
+	logAcked  int // data-record writes acknowledged
+	committed bool
+	acked     bool
+	ackedAt   sim.Time
+	homeNext  int // next home write to issue
+	homeAcked int
+	aborted   bool
+}
+
+// ID returns the transaction id (for tests).
+func (t *Txn) ID() uint64 { return t.id }
+
+// Acked reports whether the application observed the commit.
+func (t *Txn) Acked() bool { return t.acked }
+
+// slotWrite is one generation of content written to a log slot; the
+// history lets the oracle tell "current record", "stale previous content"
+// and "corrupted" apart by fingerprint.
+type slotWrite struct {
+	gen   uint64
+	seq   uint64
+	fp    content.Fingerprint
+	bytes []byte
+}
+
+// slotHistoryCap bounds the per-slot write history; the oracle only ever
+// needs the current generation plus enough depth to recognise staleness.
+const slotHistoryCap = 4
+
+// homeRef names one home page of a transaction for a retried write.
+type homeRef struct {
+	t    *Txn
+	page int
+}
+
+// Engine is the WAL transaction state machine. The experiment runner
+// pulls IOs with Next, issues them through the host block layer, and
+// reports completions with Done; the engine never touches the device
+// directly, so every one of its writes crosses the same split/queue/trace
+// path — and the same analyzer shadow — as plain workload traffic.
+type Engine struct {
+	cfg       Config
+	k         *sim.Kernel
+	rng       *sim.RNG
+	userPages int64
+
+	seq    uint64 // next record sequence number
+	nextID uint64 // next transaction id
+	gen    uint64 // log generation, bumped at each truncation
+
+	cursor    int // next free log slot
+	highWater int // one past the highest slot written this generation
+
+	cur         *Txn
+	homeQ       []*Txn    // acked transactions with home writes left to issue
+	homeRetry   []homeRef // home writes that errored, awaiting reissue
+	waiters     []*Txn    // group-commit: committed, awaiting the shared flush
+	flushWanted bool      // a commit-barrier flush is due (cover in flushCover)
+	flushCover  []*Txn
+	inFlush     bool
+
+	ckptDue    bool
+	ckptRecDue bool
+
+	outstanding int
+	ledger      []*Txn
+	slots       map[int][]slotWrite
+
+	recovering bool
+	obs        map[addr.LPN]observation
+
+	sinceCkpt int
+	stats     Stats
+}
+
+// NewEngine builds an engine over a device of userPages host-visible
+// pages. The RNG must be a dedicated fork; the engine consumes it for
+// home placement and payload content.
+func NewEngine(cfg Config, k *sim.Kernel, rng *sim.RNG, userPages int64) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if userPages < int64(cfg.LogPages)*2 {
+		return nil, fmt.Errorf("txn: device too small: %d pages for a %d-page log region", userPages, cfg.LogPages)
+	}
+	return &Engine{
+		cfg:       cfg,
+		k:         k,
+		rng:       rng,
+		userPages: userPages,
+		nextID:    1,
+		slots:     make(map[int][]slotWrite),
+		obs:       make(map[addr.LPN]observation),
+	}, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Outstanding returns engine IOs issued but not yet completed.
+func (e *Engine) Outstanding() int { return e.outstanding }
+
+// logSlotLPN maps a log slot to its device address: the log region is the
+// first LogPages pages of the device.
+func (e *Engine) logSlotLPN(slot int) addr.LPN { return addr.LPN(slot) }
+
+// appendRecord stamps rec into slot: encodes it, fingerprints the encoded
+// page, and records the write in the slot history for the oracle.
+func (e *Engine) appendRecord(slot int, rec Record) content.Fingerprint {
+	b := EncodeRecord(rec)
+	fp := content.FromBytes(b)
+	h := e.slots[slot]
+	h = append(h, slotWrite{gen: e.gen, seq: rec.Seq, fp: fp, bytes: b})
+	if len(h) > slotHistoryCap {
+		h = h[len(h)-slotHistoryCap:]
+	}
+	e.slots[slot] = h
+	return fp
+}
+
+// beginTxn allocates log slots, payload content and home locations for a
+// fresh transaction. It requires PagesPerTxn+1 free log slots; callers
+// check space first.
+func (e *Engine) beginTxn() *Txn {
+	k := e.cfg.PagesPerTxn
+	t := &Txn{id: e.nextID, pages: make([]txnPage, k)}
+	e.nextID++
+	homeSpan := e.userPages - int64(e.cfg.LogPages)
+	for i := 0; i < k; i++ {
+		fp := content.Fingerprint(e.rng.Uint64())
+		if fp == content.Zero {
+			fp = 1
+		}
+		home := addr.LPN(int64(e.cfg.LogPages) + e.rng.Int63n(homeSpan))
+		seq := e.seq
+		e.seq++
+		slot := e.cursor
+		e.cursor++
+		recFP := e.appendRecord(slot, Record{
+			Type: RecData, Seq: seq, Txn: t.id,
+			HomeLPN: uint64(home), Payload: uint64(fp), Count: uint32(i),
+		})
+		t.pages[i] = txnPage{homeLPN: home, fp: fp, slot: slot, recFP: recFP, seq: seq}
+	}
+	t.commitSeq = e.seq
+	e.seq++
+	t.commitSlot = e.cursor
+	e.cursor++
+	t.commitFP = e.appendRecord(t.commitSlot, Record{
+		Type: RecCommit, Seq: t.commitSeq, Txn: t.id, Count: uint32(k),
+	})
+	e.ledger = append(e.ledger, t)
+	e.stats.Started++
+	return t
+}
+
+// Next returns the engine's next IO, or ok=false when it is waiting on
+// completions (or recovering). Whenever the engine has zero outstanding
+// IOs and is not recovering, Next is guaranteed to produce an IO, so a
+// closed loop over Next/Done never stalls.
+func (e *Engine) Next() (IO, bool) {
+	if e.recovering {
+		return IO{}, false
+	}
+	// 1. A wanted commit-barrier flush always goes first: it gates every
+	// acknowledgement behind it.
+	if e.flushWanted && !e.inFlush {
+		e.flushWanted = false
+		e.inFlush = true
+		io := IO{Kind: IOFlush, cover: e.flushCover}
+		e.flushCover = nil
+		e.outstanding++
+		e.stats.Flushes++
+		return io, true
+	}
+	if e.inFlush {
+		// Nothing overtakes a barrier in flight: later writes entering the
+		// volatile cache behind the flush would blur what the barrier
+		// acknowledged.
+		return IO{}, false
+	}
+	// 2. The checkpoint record that follows a checkpoint flush.
+	if e.ckptRecDue {
+		e.ckptRecDue = false
+		seq := e.seq
+		e.seq++
+		slot := e.cursor
+		e.cursor++
+		fp := e.appendRecord(slot, Record{Type: RecCheckpoint, Seq: seq, Count: uint32(e.stats.Retired)})
+		if e.cursor > e.highWater {
+			e.highWater = e.cursor
+		}
+		e.outstanding++
+		return IO{Kind: IOCheckpoint, LPN: e.logSlotLPN(slot), Data: content.Make(fp)}, true
+	}
+	// 3. Drain home writes of acknowledged transactions, retries first.
+	if len(e.homeRetry) > 0 {
+		ref := e.homeRetry[0]
+		e.homeRetry = e.homeRetry[1:]
+		p := ref.t.pages[ref.page]
+		e.outstanding++
+		e.stats.HomeWrites++
+		return IO{Kind: IOHome, LPN: p.homeLPN, Data: content.Make(p.fp), t: ref.t, page: ref.page}, true
+	}
+	for len(e.homeQ) > 0 {
+		t := e.homeQ[0]
+		if t.homeNext >= len(t.pages) {
+			e.homeQ = e.homeQ[1:]
+			continue
+		}
+		p := t.pages[t.homeNext]
+		idx := t.homeNext
+		t.homeNext++
+		e.outstanding++
+		e.stats.HomeWrites++
+		return IO{Kind: IOHome, LPN: p.homeLPN, Data: content.Make(p.fp), t: t, page: idx}, true
+	}
+	// 4. Advance the current transaction.
+	if e.cur != nil {
+		t := e.cur
+		if t.logIssued < len(t.pages) {
+			p := t.pages[t.logIssued]
+			idx := t.logIssued
+			t.logIssued++
+			if p.slot+1 > e.highWater {
+				e.highWater = p.slot + 1
+			}
+			e.outstanding++
+			e.stats.LogAppends++
+			return IO{Kind: IOLog, LPN: e.logSlotLPN(p.slot), Data: content.Make(p.recFP), t: t, page: idx}, true
+		}
+		if t.logAcked == len(t.pages) && !t.committed {
+			t.committed = true // commit record issued
+			if t.commitSlot+1 > e.highWater {
+				e.highWater = t.commitSlot + 1
+			}
+			e.outstanding++
+			e.stats.LogAppends++
+			return IO{Kind: IOCommit, LPN: e.logSlotLPN(t.commitSlot), Data: content.Make(t.commitFP), t: t}, true
+		}
+		return IO{}, false // waiting for log ACKs or the commit barrier
+	}
+	// 5. Open a checkpoint once the pipeline is quiet. A partial group
+	// still waiting for its barrier is flushed and applied FIRST: the
+	// truncation may only reuse log slots of transactions whose home
+	// writes have landed, or a cut after the checkpoint could lose data
+	// the application was promised (and the oracle would misjudge).
+	if e.ckptDue {
+		if e.outstanding > 0 {
+			return IO{}, false
+		}
+		if len(e.waiters) > 0 {
+			cover := e.waiters
+			e.waiters = nil
+			e.inFlush = true
+			e.outstanding++
+			e.stats.Flushes++
+			return IO{Kind: IOFlush, cover: cover}, true
+		}
+		e.inFlush = true
+		e.outstanding++
+		e.stats.Flushes++
+		return IO{Kind: IOFlush, ckpt: true}, true
+	}
+	// 6. Start a new transaction, or force a checkpoint when the log is
+	// out of space (PagesPerTxn data records + commit + a checkpoint slot).
+	if e.cursor+e.cfg.PagesPerTxn+2 > e.cfg.LogPages {
+		e.ckptDue = true
+		return e.Next()
+	}
+	e.cur = e.beginTxn()
+	return e.Next()
+}
+
+// Done reports the completion of an IO previously returned by Next. err
+// is the host-visible outcome; the engine advances its state machine and
+// (for barriers) acknowledges covered commits. Every error path leaves
+// the engine issuable — an unacknowledged transaction aborts out of the
+// pipeline, a failed home write is retried — so a transient failure
+// (host-queue rejection, timeout) can never wedge the closed loop; a
+// fault's errors are swept up by FinishRecovery.
+func (e *Engine) Done(io IO, err error) {
+	e.outstanding--
+	switch io.Kind {
+	case IOLog:
+		t := io.t
+		if err != nil {
+			e.abort(t)
+			return
+		}
+		t.logAcked++
+	case IOCommit:
+		t := io.t
+		if err != nil {
+			e.abort(t)
+			return
+		}
+		switch e.cfg.Barrier {
+		case NoFlush:
+			e.ack(t)
+			e.cur = nil
+		case FlushPerCommit:
+			e.flushWanted = true
+			e.flushCover = []*Txn{t}
+		case GroupCommit:
+			e.waiters = append(e.waiters, t)
+			e.cur = nil
+			if len(e.waiters) >= e.cfg.GroupEvery {
+				e.flushWanted = true
+				e.flushCover = e.waiters
+				e.waiters = nil
+			}
+		}
+	case IOFlush:
+		e.inFlush = false
+		if err != nil {
+			// The barrier failed: nothing it covered may be acknowledged.
+			// The covered transactions abort (they stay in the ledger,
+			// unacknowledged — no durability promise was made); a failed
+			// checkpoint flush leaves ckptDue set and is retried.
+			for _, t := range io.cover {
+				e.abort(t)
+			}
+			return
+		}
+		for _, t := range io.cover {
+			if !t.aborted {
+				e.ack(t)
+			}
+			if e.cur == t {
+				e.cur = nil
+			}
+		}
+		if io.ckpt {
+			e.truncate()
+			e.ckptRecDue = true
+			e.ckptDue = false
+			e.stats.Checkpoints++
+		}
+	case IOCheckpoint:
+		// Best effort: a lost checkpoint record costs nothing — the ledger
+		// it would describe was already retired by the flush before it.
+	case IOHome:
+		t := io.t
+		if err != nil {
+			// The page must eventually reach home or the transaction can
+			// never retire (a checkpoint would reuse its redo slots).
+			e.homeRetry = append(e.homeRetry, homeRef{t: t, page: io.page})
+			return
+		}
+		t.homeAcked++
+	}
+}
+
+// abort takes an unacknowledged transaction out of the pipeline after an
+// IO error. It stays in the ledger (the oracle counts it as in-flight at
+// the cut); acknowledged transactions are never aborted.
+func (e *Engine) abort(t *Txn) {
+	if t.acked {
+		return
+	}
+	t.aborted = true
+	if e.cur == t {
+		e.cur = nil
+	}
+}
+
+// ack marks t durable from the application's point of view and queues its
+// home writes.
+func (e *Engine) ack(t *Txn) {
+	if t.acked {
+		return
+	}
+	t.acked = true
+	t.ackedAt = e.k.Now()
+	e.stats.Committed++
+	e.homeQ = append(e.homeQ, t)
+	e.sinceCkptInc()
+}
+
+func (e *Engine) sinceCkptInc() {
+	e.sinceCkpt++
+	if e.sinceCkpt >= e.cfg.CheckpointEvery {
+		e.ckptDue = true
+	}
+}
+
+// truncate retires every fully-durable ledger transaction and opens a new
+// log generation. It runs only behind a completed flush with an idle
+// pipeline, so everything in the ledger that was acknowledged is on media.
+func (e *Engine) truncate() {
+	var keep []*Txn
+	for _, t := range e.ledger {
+		if t.acked && t.homeAcked == len(t.pages) {
+			e.stats.Retired++
+			continue
+		}
+		keep = append(keep, t)
+	}
+	e.ledger = keep
+	e.gen++
+	e.cursor = 0
+	e.highWater = 0
+	e.sinceCkpt = 0
+}

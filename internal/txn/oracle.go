@@ -1,0 +1,292 @@
+package txn
+
+import (
+	"fmt"
+	"strings"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/content"
+)
+
+// Verdict classifies one acknowledged transaction after crash recovery.
+type Verdict int
+
+// Verdicts.
+const (
+	// VerdictIntact: the commit record survived and every page is
+	// recoverable (redo from a durable log record, or already at home).
+	VerdictIntact Verdict = iota
+	// VerdictLostCommit: the commit was acknowledged to the application
+	// but no durable commit record exists — recovery rolls the
+	// transaction back. The application-level analog of the paper's false
+	// write acknowledge.
+	VerdictLostCommit
+	// VerdictTorn: the commit record survived but one or more pages are
+	// unrecoverable — redo cannot complete and atomicity is broken.
+	VerdictTorn
+	// VerdictOutOfOrder: a lost commit with a later acknowledged commit
+	// whose record did survive — durability was reordered across the
+	// barrier, the transaction-granularity form of the paper's
+	// unserializable writes.
+	VerdictOutOfOrder
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictIntact:
+		return "intact"
+	case VerdictLostCommit:
+		return "lost-commit"
+	case VerdictTorn:
+		return "torn"
+	case VerdictOutOfOrder:
+		return "out-of-order"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Stats aggregates the engine and oracle counters across an experiment.
+type Stats struct {
+	// Started counts transactions the engine began; Committed counts
+	// commits acknowledged to the application; Retired counts
+	// transactions made fully durable by a checkpoint (never judged).
+	Started   int64 `json:"started"`
+	Committed int64 `json:"committed"`
+	Retired   int64 `json:"retired"`
+
+	// Evaluated is the number of acknowledged transactions judged by the
+	// oracle at fault cycles; the four verdict classes partition it.
+	Evaluated   int64 `json:"evaluated"`
+	Intact      int64 `json:"intact"`
+	LostCommits int64 `json:"lost_commits"`
+	Torn        int64 `json:"torn"`
+	OutOfOrder  int64 `json:"out_of_order"`
+
+	// Unacked counts transactions in flight (not yet acknowledged) when a
+	// cut landed; they carry no durability promise and are not failures.
+	Unacked int64 `json:"unacked"`
+
+	// OldestLostSeq is the smallest commit sequence number among all
+	// lost/torn/out-of-order transactions (0 when nothing was lost): how
+	// far back the damage reaches.
+	OldestLostSeq uint64 `json:"oldest_lost_seq"`
+
+	// RecoveryScans counts oracle runs; ScanPages sums the log pages each
+	// scan read (the recovery scan length).
+	RecoveryScans int64 `json:"recovery_scans"`
+	ScanPages     int64 `json:"scan_pages"`
+
+	Checkpoints int64 `json:"checkpoints"`
+	Flushes     int64 `json:"flushes"`
+	LogAppends  int64 `json:"log_appends"`
+	HomeWrites  int64 `json:"home_writes"`
+}
+
+// Losses returns the transactions whose durability promise was broken.
+func (s Stats) Losses() int64 { return s.LostCommits + s.Torn + s.OutOfOrder }
+
+// String renders a compact summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txn: %d committed (%d retired), %d evaluated: %d intact, %d lost-commit, %d torn, %d out-of-order; %d unacked",
+		s.Committed, s.Retired, s.Evaluated, s.Intact, s.LostCommits, s.Torn, s.OutOfOrder, s.Unacked)
+	if s.OldestLostSeq > 0 {
+		fmt.Fprintf(&b, "; oldest lost seq %d", s.OldestLostSeq)
+	}
+	return b.String()
+}
+
+// observation is the post-recovery content of one page.
+type observation struct {
+	fp  content.Fingerprint
+	err error
+	ok  bool
+}
+
+// CycleVerdicts is the outcome of one oracle run.
+type CycleVerdicts struct {
+	Evaluated   int
+	Intact      int
+	LostCommits int
+	Torn        int
+	OutOfOrder  int
+	Unacked     int
+	ScanPages   int
+}
+
+// RecoveryReads returns the pages the oracle needs after the device
+// recovered: the log region up to the generation high-water mark (the
+// recovery scan), then every ledger transaction's home pages. The engine
+// stops producing workload IOs until FinishRecovery. Order is
+// deterministic; duplicates are removed.
+func (e *Engine) RecoveryReads() []addr.LPN {
+	e.recovering = true
+	e.obs = make(map[addr.LPN]observation)
+	seen := make(map[addr.LPN]bool)
+	out := make([]addr.LPN, 0, e.highWater)
+	for slot := 0; slot < e.highWater; slot++ {
+		lpn := e.logSlotLPN(slot)
+		if !seen[lpn] {
+			seen[lpn] = true
+			out = append(out, lpn)
+		}
+	}
+	for _, t := range e.ledger {
+		for _, p := range t.pages {
+			if !seen[p.homeLPN] {
+				seen[p.homeLPN] = true
+				out = append(out, p.homeLPN)
+			}
+		}
+	}
+	return out
+}
+
+// Observe records the post-recovery content of one page (one page per
+// call). A read that kept failing is recorded with its error and treated
+// as unreadable.
+func (e *Engine) Observe(lpn addr.LPN, fp content.Fingerprint, err error) {
+	e.obs[lpn] = observation{fp: fp, err: err, ok: err == nil}
+}
+
+// FinishRecovery replays the observed log exactly as a recovery pass
+// would — decode every durable record in slot order, rebuild the redo and
+// commit sets — then judges each acknowledged ledger transaction, folds
+// the verdicts into the stats, resets the engine to a fresh log
+// generation, and returns the cycle's breakdown.
+//
+// The replay is hole-tolerant: a valid record past a torn slot still
+// counts, so the verdicts measure what the device actually kept (the
+// best any recovery implementation could do), not a particular scan
+// policy's pessimism.
+func (e *Engine) FinishRecovery() CycleVerdicts {
+	var out CycleVerdicts
+	out.ScanPages = e.highWater
+
+	// Pass 1: replay the log region. A slot is durable iff the content
+	// read back is exactly the record the engine wrote there in the
+	// current generation; its decoded bytes then join the redo state.
+	durableCommits := make(map[uint64]bool)         // txn id -> commit record survived
+	durableData := make(map[uint64]map[uint32]bool) // txn id -> page index -> record survived
+	for slot := 0; slot < e.highWater; slot++ {
+		ob, ok := e.obs[e.logSlotLPN(slot)]
+		if !ok || !ob.ok {
+			continue // unread or unreadable: torn slot
+		}
+		h := e.slots[slot]
+		var cur *slotWrite
+		for i := len(h) - 1; i >= 0; i-- {
+			if h[i].gen == e.gen {
+				cur = &h[i]
+				break // latest current-generation write
+			}
+		}
+		if cur == nil || ob.fp != cur.fp {
+			continue // stale previous content or corruption: torn slot
+		}
+		rec, err := DecodeRecord(cur.bytes)
+		if err != nil {
+			continue // cannot happen for engine-encoded records; defensive
+		}
+		switch rec.Type {
+		case RecCommit:
+			durableCommits[rec.Txn] = true
+		case RecData:
+			m := durableData[rec.Txn]
+			if m == nil {
+				m = make(map[uint32]bool)
+				durableData[rec.Txn] = m
+			}
+			m[rec.Count] = true
+		}
+	}
+
+	// Pass 2: judge the ledger in commit-sequence order. laterSurvives[i]
+	// reports whether any transaction acknowledged after i kept its
+	// commit record — the witness that turns a lost commit into an
+	// out-of-order loss.
+	var acked []*Txn
+	for _, t := range e.ledger {
+		if t.acked {
+			acked = append(acked, t)
+		} else {
+			out.Unacked++
+		}
+	}
+	laterSurvives := make([]bool, len(acked))
+	for i := len(acked) - 2; i >= 0; i-- {
+		laterSurvives[i] = laterSurvives[i+1] || durableCommits[acked[i+1].id]
+	}
+	oldestLost := uint64(0)
+	for i, t := range acked {
+		out.Evaluated++
+		var v Verdict
+		switch {
+		case !durableCommits[t.id]:
+			v = VerdictLostCommit
+			if laterSurvives[i] {
+				v = VerdictOutOfOrder
+			}
+		default:
+			v = VerdictIntact
+			for i, p := range t.pages {
+				redo := durableData[t.id][uint32(i)]
+				home := false
+				if ob, ok := e.obs[p.homeLPN]; ok && ob.ok && ob.fp == p.fp {
+					home = true
+				}
+				if !redo && !home {
+					v = VerdictTorn
+					break
+				}
+			}
+		}
+		switch v {
+		case VerdictIntact:
+			out.Intact++
+		case VerdictLostCommit:
+			out.LostCommits++
+		case VerdictTorn:
+			out.Torn++
+		case VerdictOutOfOrder:
+			out.OutOfOrder++
+		}
+		if v != VerdictIntact && (oldestLost == 0 || t.commitSeq < oldestLost) {
+			oldestLost = t.commitSeq
+		}
+	}
+
+	// Fold into the running stats.
+	e.stats.Evaluated += int64(out.Evaluated)
+	e.stats.Intact += int64(out.Intact)
+	e.stats.LostCommits += int64(out.LostCommits)
+	e.stats.Torn += int64(out.Torn)
+	e.stats.OutOfOrder += int64(out.OutOfOrder)
+	e.stats.Unacked += int64(out.Unacked)
+	e.stats.RecoveryScans++
+	e.stats.ScanPages += int64(out.ScanPages)
+	if oldestLost > 0 && (e.stats.OldestLostSeq == 0 || oldestLost < e.stats.OldestLostSeq) {
+		e.stats.OldestLostSeq = oldestLost
+	}
+
+	// Reset: the application restarts with an empty ledger and a fresh
+	// log generation; in-flight state died with the power.
+	e.ledger = nil
+	e.cur = nil
+	e.homeQ = nil
+	e.homeRetry = nil
+	e.waiters = nil
+	e.flushWanted, e.flushCover = false, nil
+	e.inFlush = false
+	e.ckptDue, e.ckptRecDue = false, false
+	e.outstanding = 0
+	e.gen++
+	e.cursor = 0
+	e.highWater = 0
+	e.sinceCkpt = 0
+	e.recovering = false
+	e.obs = make(map[addr.LPN]observation)
+	return out
+}

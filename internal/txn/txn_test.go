@@ -1,0 +1,449 @@
+package txn
+
+import (
+	"testing"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+)
+
+// --- record codec ---
+
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Type: RecData, Seq: 7, Txn: 3, HomeLPN: 9001, Payload: 0xdeadbeef, Count: 2},
+		{Type: RecCommit, Seq: 8, Txn: 3, Count: 4},
+		{Type: RecCheckpoint, Seq: 9, Count: 17},
+		{},
+	}
+	for _, r := range recs {
+		b := EncodeRecord(r)
+		if len(b) != RecordSize {
+			t.Fatalf("encoded %v to %d bytes, want %d", r, len(b), RecordSize)
+		}
+		got, err := DecodeRecord(b)
+		if err != nil {
+			t.Fatalf("decode(encode(%v)): %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip changed the record: %v -> %v", r, got)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	good := EncodeRecord(Record{Type: RecCommit, Seq: 42, Txn: 7, Count: 3})
+
+	if _, err := DecodeRecord(good[:RecordSize-1]); err != ErrTruncated {
+		t.Fatalf("truncated: err = %v", err)
+	}
+	if _, err := DecodeRecord(nil); err != ErrTruncated {
+		t.Fatalf("nil: err = %v", err)
+	}
+
+	// Any single bit flip must fail decoding: either the checksum breaks,
+	// or the flipped bit is in the checksum itself.
+	for i := 0; i < RecordSize; i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), good...)
+			mut[i] ^= 1 << bit
+			if _, err := DecodeRecord(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded cleanly", i, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeIgnoresTrailingBytes(t *testing.T) {
+	r := Record{Type: RecData, Seq: 1, Txn: 2, HomeLPN: 3, Payload: 4, Count: 5}
+	padded := append(EncodeRecord(r), make([]byte, 100)...)
+	got, err := DecodeRecord(padded)
+	if err != nil || got != r {
+		t.Fatalf("padded decode: %v, %v", got, err)
+	}
+}
+
+// --- engine harness ---
+//
+// The harness drives the engine synchronously against a two-tier content
+// store: writes land in the volatile tier, flushes promote everything to
+// the durable tier, and a simulated cut discards the volatile tier. Tests
+// then hand-pick what "survived" to pin each oracle verdict class.
+
+type harness struct {
+	t        *testing.T
+	e        *Engine
+	volatile map[addr.LPN]content.Fingerprint
+	durable  map[addr.LPN]content.Fingerprint
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	e, err := NewEngine(cfg, sim.New(), sim.NewRNG(99).Fork("txn"), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &harness{
+		t:        t,
+		e:        e,
+		volatile: make(map[addr.LPN]content.Fingerprint),
+		durable:  make(map[addr.LPN]content.Fingerprint),
+	}
+}
+
+// step pulls one IO and completes it successfully.
+func (h *harness) step() IO {
+	h.t.Helper()
+	io, ok := h.e.Next()
+	if !ok {
+		h.t.Fatal("engine stalled with zero outstanding IOs")
+	}
+	if io.Kind == IOFlush {
+		for lpn, fp := range h.volatile {
+			h.durable[lpn] = fp
+		}
+		h.volatile = make(map[addr.LPN]content.Fingerprint)
+	} else {
+		h.volatile[io.LPN] = io.Data.Page(0)
+	}
+	h.e.Done(io, nil)
+	return io
+}
+
+func (h *harness) runUntilCommitted(n int64) {
+	h.t.Helper()
+	for i := 0; h.e.Stats().Committed < n; i++ {
+		if i > 100000 {
+			h.t.Fatalf("no progress toward %d commits", n)
+		}
+		h.step()
+	}
+}
+
+// read returns what a post-cut read of lpn observes: the durable tier
+// (the volatile tier died with the power).
+func (h *harness) read(lpn addr.LPN) content.Fingerprint { return h.durable[lpn] }
+
+// recover runs the oracle over the durable tier.
+func (h *harness) recover() CycleVerdicts {
+	h.t.Helper()
+	for _, lpn := range h.e.RecoveryReads() {
+		h.e.Observe(lpn, h.read(lpn), nil)
+	}
+	return h.e.FinishRecovery()
+}
+
+// keep promotes one volatile page into the durable tier, simulating a
+// page the device happened to persist before the cut.
+func (h *harness) keep(lpn addr.LPN) {
+	if fp, ok := h.volatile[lpn]; ok {
+		h.durable[lpn] = fp
+	}
+}
+
+// TestEngineFlushPerCommitAllIntact: with a flush behind every ACK, a cut
+// at any commit boundary loses nothing.
+func TestEngineFlushPerCommitAllIntact(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: FlushPerCommit, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(5)
+	v := h.recover()
+	if v.Evaluated != 5 || v.Intact != 5 {
+		t.Fatalf("verdicts = %+v, want 5 intact of 5", v)
+	}
+	if got := h.e.Stats(); got.Losses() != 0 {
+		t.Fatalf("losses: %s", got)
+	}
+}
+
+// TestEngineNoFlushAllLost: nothing flushed, everything volatile — every
+// acknowledged commit is a lost commit and none are out-of-order (no
+// later commit survived either).
+func TestEngineNoFlushAllLost(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(3)
+	v := h.recover()
+	if v.Evaluated != 3 || v.LostCommits != 3 || v.OutOfOrder != 0 {
+		t.Fatalf("verdicts = %+v, want 3 lost commits", v)
+	}
+	if s := h.e.Stats(); s.OldestLostSeq == 0 {
+		t.Fatalf("no oldest-lost sequence recorded: %s", s)
+	}
+}
+
+// TestEngineOutOfOrderDurability: the device kept the third transaction's
+// records but dropped the first two — the earlier acknowledged commits
+// become out-of-order losses, the later one is intact.
+func TestEngineOutOfOrderDurability(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(3)
+
+	last := h.e.ledger[2]
+	for _, p := range last.pages {
+		h.keep(h.e.logSlotLPN(p.slot))
+	}
+	h.keep(h.e.logSlotLPN(last.commitSlot))
+
+	v := h.recover()
+	if v.Intact != 1 || v.OutOfOrder != 2 || v.LostCommits != 0 {
+		t.Fatalf("verdicts = %+v, want 1 intact + 2 out-of-order", v)
+	}
+}
+
+// TestEngineTornTransaction: the commit record survived but one data
+// record did not (and its home page never landed) — atomicity is broken
+// and the verdict is torn, not lost.
+func TestEngineTornTransaction(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(1)
+
+	tx := h.e.ledger[0]
+	h.keep(h.e.logSlotLPN(tx.commitSlot))
+	h.keep(h.e.logSlotLPN(tx.pages[0].slot)) // first data record survives, second does not
+
+	v := h.recover()
+	if v.Torn != 1 || v.LostCommits != 0 || v.Intact != 0 {
+		t.Fatalf("verdicts = %+v, want exactly 1 torn", v)
+	}
+}
+
+// TestEngineRedoFromHome: a data record died but the home write landed —
+// the page is recoverable and the transaction stays intact.
+func TestEngineRedoFromHome(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(1)
+	// Drain the home writes of the acknowledged transaction.
+	for h.e.Stats().HomeWrites < 2 {
+		h.step()
+	}
+
+	tx := h.e.ledger[0]
+	h.keep(h.e.logSlotLPN(tx.commitSlot))
+	h.keep(h.e.logSlotLPN(tx.pages[0].slot))
+	h.keep(tx.pages[1].homeLPN) // second page recovers from home instead of the log
+
+	v := h.recover()
+	if v.Intact != 1 {
+		t.Fatalf("verdicts = %+v, want 1 intact via home recovery", v)
+	}
+}
+
+// TestEngineGroupCommitAcksInBatches: commits acknowledge only when the
+// shared flush lands, GroupEvery at a time; transactions committed but
+// awaiting the group flush at a cut carry no promise (unacked).
+func TestEngineGroupCommitAcksInBatches(t *testing.T) {
+	cfg := Config{PagesPerTxn: 1, Barrier: GroupCommit, GroupEvery: 4, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(4)
+	if got := h.e.Stats().Committed; got != 4 {
+		t.Fatalf("committed %d mid-batch, want exactly the flushed group of 4", got)
+	}
+	if flushes := h.e.Stats().Flushes; flushes != 1 {
+		t.Fatalf("flushes = %d, want 1 for the first group", flushes)
+	}
+	// Advance partway into the next group, then cut.
+	for h.e.Stats().Started < 7 {
+		h.step()
+	}
+	v := h.recover()
+	if v.Unacked == 0 {
+		t.Fatalf("no unacked transactions at a mid-group cut: %+v", v)
+	}
+	if v.Evaluated != 4 {
+		t.Fatalf("evaluated %d, want the 4 acknowledged", v.Evaluated)
+	}
+}
+
+// TestEngineSurvivesBarrierError: an errored commit-barrier flush outside
+// a fault cycle (host-queue rejection, timeout) aborts the covered
+// transaction instead of wedging the pipeline — the engine keeps
+// committing afterwards and the aborted transaction is judged unacked.
+func TestEngineSurvivesBarrierError(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: FlushPerCommit, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(1)
+
+	// Fail the next barrier flush; everything else succeeds.
+	failed := false
+	for !failed {
+		io, ok := h.e.Next()
+		if !ok {
+			t.Fatal("engine stalled before the flush")
+		}
+		if io.Kind == IOFlush {
+			h.e.Done(io, ErrChecksum) // any error
+			failed = true
+		} else {
+			h.volatile[io.LPN] = io.Data.Page(0)
+			h.e.Done(io, nil)
+		}
+	}
+	// The engine must still make progress to further commits.
+	h.runUntilCommitted(3)
+	v := h.recover()
+	if v.Unacked != 1 {
+		t.Fatalf("aborted transaction not judged unacked: %+v", v)
+	}
+	if v.Evaluated != 3 {
+		t.Fatalf("evaluated %d, want the 3 acknowledged commits", v.Evaluated)
+	}
+}
+
+// TestEngineRetriesFailedHomeWrite: a home write that errors is reissued
+// until it lands, so the transaction can still retire at a checkpoint.
+func TestEngineRetriesFailedHomeWrite(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: FlushPerCommit, LogPages: 64, CheckpointEvery: 1}
+	h := newHarness(t, cfg)
+	failedOnce := false
+	for h.e.Stats().Checkpoints == 0 {
+		io, ok := h.e.Next()
+		if !ok {
+			t.Fatal("engine stalled")
+		}
+		if io.Kind == IOHome && !failedOnce {
+			failedOnce = true
+			h.e.Done(io, ErrChecksum)
+			continue
+		}
+		if io.Kind == IOFlush {
+			for lpn, fp := range h.volatile {
+				h.durable[lpn] = fp
+			}
+			h.volatile = make(map[addr.LPN]content.Fingerprint)
+		} else {
+			h.volatile[io.LPN] = io.Data.Page(0)
+		}
+		h.e.Done(io, nil)
+	}
+	if !failedOnce {
+		t.Fatal("no home write was failed; test exercised nothing")
+	}
+	if got := h.e.Stats().Retired; got == 0 {
+		t.Fatal("transaction with a retried home write never retired")
+	}
+	if len(h.e.ledger) != 0 {
+		t.Fatalf("ledger holds %d transactions after checkpoint", len(h.e.ledger))
+	}
+}
+
+// TestEngineCheckpointRetires: a checkpoint flushes, truncates the log
+// and retires fully durable transactions so later faults never judge
+// them; the scan high-water restarts from the checkpoint record.
+func TestEngineCheckpointRetires(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: FlushPerCommit, LogPages: 64, CheckpointEvery: 2}
+	h := newHarness(t, cfg)
+	for h.e.Stats().Checkpoints == 0 {
+		h.step()
+	}
+	s := h.e.Stats()
+	if s.Retired < 2 {
+		t.Fatalf("retired = %d after a checkpoint, want the checkpointed transactions", s.Retired)
+	}
+	if len(h.e.ledger) != 0 {
+		t.Fatalf("ledger still holds %d transactions after truncation", len(h.e.ledger))
+	}
+	if h.e.cursor > 2 {
+		t.Fatalf("cursor = %d after truncation, want the checkpoint record slot region", h.e.cursor)
+	}
+	// Everything was durable before truncation, so a cut right here must
+	// evaluate nothing and lose nothing.
+	v := h.recover()
+	if v.Evaluated != 0 || v.LostCommits != 0 {
+		t.Fatalf("post-checkpoint verdicts = %+v", v)
+	}
+}
+
+// TestEngineCheckpointAppliesPartialGroupFirst: a forced checkpoint (log
+// wrap) while a partial group awaits its barrier must flush and apply
+// that group before truncating — the truncation reuses log slots, so it
+// may only retire transactions whose home writes have landed. A cut
+// right after the checkpoint must lose nothing.
+func TestEngineCheckpointAppliesPartialGroupFirst(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: GroupCommit, GroupEvery: 100, LogPages: 12, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	for h.e.Stats().Checkpoints == 0 {
+		h.step()
+	}
+	s := h.e.Stats()
+	if s.Committed != 3 || s.Retired != 3 {
+		t.Fatalf("committed=%d retired=%d after the forced checkpoint, want 3/3", s.Committed, s.Retired)
+	}
+	if len(h.e.ledger) != 0 {
+		t.Fatalf("truncated with %d unapplied transactions in the ledger", len(h.e.ledger))
+	}
+	v := h.recover()
+	if v.Evaluated != 0 || v.LostCommits != 0 || v.Torn != 0 {
+		t.Fatalf("cut after checkpoint lost data: %+v", v)
+	}
+}
+
+// TestEngineLogWrapForcesCheckpoint: when the append cursor approaches
+// the end of the log region the engine checkpoints instead of starting a
+// transaction, so the log never overflows its region.
+func TestEngineLogWrapForcesCheckpoint(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: FlushPerCommit, LogPages: 8, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	var maxLPN addr.LPN
+	for i := 0; i < 2000; i++ {
+		io := h.step()
+		if io.Kind != IOHome && io.LPN > maxLPN {
+			maxLPN = io.LPN
+		}
+	}
+	if h.e.Stats().Checkpoints == 0 {
+		t.Fatal("log wrapped without a checkpoint")
+	}
+	if maxLPN >= addr.LPN(cfg.LogPages) {
+		t.Fatalf("log write at LPN %d escaped the %d-page log region", maxLPN, cfg.LogPages)
+	}
+}
+
+// TestEngineStaleSlotDetected: after a checkpoint truncates, the log
+// slots still hold the previous generation's perfectly valid records on
+// media. A post-truncation transaction whose writes die in the volatile
+// cache must read as lost — the old-generation bytes beneath it can never
+// be mistaken for the new commit.
+func TestEngineStaleSlotDetected(t *testing.T) {
+	cfg := Config{PagesPerTxn: 1, Barrier: NoFlush, LogPages: 16, CheckpointEvery: 1}
+	h := newHarness(t, cfg)
+	// Transaction 1 commits, and its checkpoint flushes generation-0
+	// records into the durable tier, then truncates the log.
+	for h.e.Stats().Checkpoints == 0 {
+		h.step()
+	}
+	// Transaction 2 reuses the same slots in the new generation, but with
+	// NoFlush nothing of it ever reaches the durable tier.
+	h.runUntilCommitted(2)
+	h.volatile = make(map[addr.LPN]content.Fingerprint) // cut
+	v := h.recover()
+	if v.Evaluated != 1 || v.LostCommits != 1 {
+		t.Fatalf("stale old-generation slots misread as durable: %+v", v)
+	}
+}
+
+// TestConfigValidation rejects impossible tunings.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{PagesPerTxn: -1, LogPages: 64, GroupEvery: 1, CheckpointEvery: 1},
+		{PagesPerTxn: 4, LogPages: 5, GroupEvery: 1, CheckpointEvery: 1},
+		{PagesPerTxn: 4, LogPages: 64, GroupEvery: -2, CheckpointEvery: 1},
+		{PagesPerTxn: 4, LogPages: 64, GroupEvery: 1, CheckpointEvery: -3},
+		{PagesPerTxn: 4, LogPages: 64, GroupEvery: 1, CheckpointEvery: 1, Barrier: Barrier(9)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if _, err := NewEngine(DefaultConfig(), sim.New(), sim.NewRNG(1), 100); err == nil {
+		t.Error("engine accepted a device smaller than its log region")
+	}
+}

@@ -60,6 +60,7 @@ import (
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/txn"
 	"powerfail/internal/workload"
 )
 
@@ -118,6 +119,20 @@ type (
 	// MemberReport is one array member's slice of a Report.
 	MemberReport = core.MemberReport
 
+	// AppConfig selects an optional application layer above the block
+	// device; the zero value runs the paper's plain IO generator.
+	AppConfig = core.AppConfig
+	// TxnConfig tunes the write-ahead-log transaction engine (pages per
+	// transaction, commit barrier, group size, checkpoint cadence, log
+	// region size).
+	TxnConfig = txn.Config
+	// TxnBarrier selects the engine's commit durability policy.
+	TxnBarrier = txn.Barrier
+	// TxnStats carries the crash-consistency oracle's verdict counts in a
+	// Report (intact / lost-commit / torn / out-of-order, oldest lost
+	// sequence, recovery scan lengths).
+	TxnStats = txn.Stats
+
 	// Duration and Time are simulated-clock units.
 	Duration = sim.Duration
 	Time     = sim.Time
@@ -165,6 +180,17 @@ const (
 
 	WriteBack    = array.WriteBack
 	WriteThrough = array.WriteThrough
+)
+
+// Commit barrier policies for the transactional application layer.
+const (
+	// FlushPerCommit acknowledges a commit only after an OpFlush landed.
+	FlushPerCommit = txn.FlushPerCommit
+	// GroupCommitBarrier flushes once per TxnConfig.GroupEvery commits.
+	GroupCommitBarrier = txn.GroupCommit
+	// NoFlushBarrier acknowledges on the device write ACK — exposing
+	// volatile-cache lies at transaction granularity.
+	NoFlushBarrier = txn.NoFlush
 )
 
 // Simulated time units.
@@ -242,3 +268,15 @@ func RAIDConfig(level ArrayLevel, n int, member SSDProfile) ArrayConfig {
 func CacheConfig(cache SSDProfile, backing HDDProfile, policy CachePolicy) ArrayConfig {
 	return ArrayConfig{Level: Cached, Cache: cache, Backing: backing, Policy: policy}
 }
+
+// DefaultTxnConfig returns the stock transaction-engine tuning: 4 pages
+// per transaction, flush-per-commit, checkpoint every 32 commits, a
+// 512-page log region.
+func DefaultTxnConfig() TxnConfig { return txn.DefaultConfig() }
+
+// TxnApp enables the transactional WAL application layer with cfg; assign
+// the result to Options.App. The experiment's Workload is ignored — the
+// engine generates its own IO stream — and after every fault the recovery
+// oracle classifies each acknowledged transaction into the Report's
+// TxnStats.
+func TxnApp(cfg TxnConfig) AppConfig { return AppConfig{Txn: &cfg} }

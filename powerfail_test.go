@@ -43,7 +43,7 @@ func TestProfiles(t *testing.T) {
 // catalogFigures is every figure id ItemsFor accepts besides "all".
 var catalogFigures = []string{
 	"tablei", "window", "fig5", "fig6", "seqrand", "fig7", "fig8", "fig9",
-	"ablation", "array", "cache",
+	"ablation", "array", "cache", "txn",
 }
 
 func TestCatalogCoverage(t *testing.T) {
@@ -57,7 +57,13 @@ func TestCatalogCoverage(t *testing.T) {
 			t.Fatalf("%s: empty series", fig)
 		}
 		for _, it := range items {
-			if err := it.Spec.Validate(); err != nil {
+			if it.Opts.App.Enabled() {
+				// Application-layer items carry no workload; the spec is
+				// validated by NewRunner against the app configuration.
+				if it.Spec.Faults <= 0 || it.Spec.RequestsPerFault <= 0 {
+					t.Fatalf("%s/%s: bad fault cycle config", fig, it.Label)
+				}
+			} else if err := it.Spec.Validate(); err != nil {
 				t.Fatalf("%s/%s: %v", fig, it.Label, err)
 			}
 			if it.Figure != fig {
