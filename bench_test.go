@@ -201,3 +201,59 @@ func BenchmarkAblationJournalInterval(b *testing.B) {
 	opts.Profile.JournalTick = 200 * sim.Millisecond
 	timeOne(b, opts, benchSpec(nil))
 }
+
+// BenchmarkTraceReplay times a bundled-trace fault cycle end to end
+// (parse once, replay per iteration).
+func BenchmarkTraceReplay(b *testing.B) {
+	printSeries(b, "trace", "Trace replay: bundled MSR-style traces")
+	tr, err := powerfail.BundledTrace("msr-web")
+	if err != nil {
+		b.Fatal(err)
+	}
+	timeOne(b, benchOpts(), benchSpec(func(s *powerfail.Experiment) {
+		s.Workload = powerfail.Workload{}
+		s.Trace = powerfail.TraceReplay(tr, powerfail.TraceClosedLoop)
+	}))
+}
+
+// BenchmarkVerificationPipelining demonstrates the pipelined control
+// reads: a large-RequestsPerFault experiment spends most of its simulated
+// time re-reading packets after each fault, and Opts.Concurrency above 1
+// keeps that many verification reads in flight. The workload is
+// open-loop (IOPS-paced), so the concurrency knob changes only the
+// verify/recovery pipeline, not the traffic: compare sim_ms/fault — the
+// platform's wall-clock per fault cycle — between the serialized (1) and
+// pipelined (8) variants.
+func BenchmarkVerificationPipelining(b *testing.B) {
+	w := powerfail.DefaultWorkload()
+	w.WSSBytes = 1 << 30
+	w.MinSize = 4 << 10
+	w.MaxSize = 16 << 10
+	w.IOPS = 20000
+	spec := powerfail.Experiment{
+		Name: "verify-pipe", Workload: w, Faults: 2, RequestsPerFault: 4000,
+	}
+	for _, conc := range []int{1, 8} {
+		b.Run(fmt.Sprintf("concurrency=%d", conc), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Concurrency = conc
+			var simTotal powerfail.Duration
+			faults := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts.Seed = uint64(i + 1)
+				rep, err := powerfail.Run(opts, spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simTotal += rep.SimDuration
+				faults += rep.Faults
+			}
+			b.StopTimer()
+			if faults > 0 {
+				b.ReportMetric(simTotal.Seconds()*1000/float64(faults), "sim_ms/fault")
+				b.ReportMetric(float64(faults)/b.Elapsed().Seconds(), "faultcycles/s")
+			}
+		})
+	}
+}

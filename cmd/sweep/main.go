@@ -18,13 +18,19 @@
 // Ctrl-C cancels the campaign and prints the completed subset.
 //
 // Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation
-// array cache txn all; `sweep -list` enumerates them with titles and item
-// counts. -figure is an alias for -set:
+// array cache txn trace all; `sweep -list` enumerates them with titles and
+// item counts. -figure is an alias for -set:
 //
 //	sweep -list                             # discover the registered figures
 //	sweep -figure array -parallel 4 -json   # RAID-0/1/5 under correlated faults
 //	sweep -figure cache -scale 0.5          # write-back vs write-through SSD cache
 //	sweep -figure txn -parallel 4           # WAL commits vs barrier policy and topology
+//	sweep -figure trace                     # bundled MSR-style traces through the pipeline
+//
+// -trace replays an arbitrary MSR-style CSV block trace instead of a
+// catalog figure, across the same topology × pacing matrix:
+//
+//	sweep -trace /data/msr/web_2.csv -parallel 4 -json
 package main
 
 import (
@@ -51,6 +57,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the CampaignResult as JSON instead of markdown")
 	verbose := flag.Bool("v", false, "print every experiment report")
 	list := flag.Bool("list", false, "list registered figure ids with titles and item counts, then exit")
+	traceFile := flag.String("trace", "", "replay this MSR-style CSV block trace instead of a -figure catalog")
 	flag.Parse()
 
 	if *list {
@@ -62,6 +69,21 @@ func main() {
 		*parallel = runtime.GOMAXPROCS(0)
 	}
 
+	if *traceFile != "" {
+		// A trace run replaces the figure catalog; an explicit -set/-figure
+		// alongside it would be silently discarded, so refuse the mix.
+		explicitSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "set" || f.Name == "figure" {
+				explicitSet = true
+			}
+		})
+		if explicitSet {
+			fmt.Fprintln(os.Stderr, "sweep: -trace replaces the figure catalog; drop -set/-figure")
+			os.Exit(2)
+		}
+	}
+
 	if *set == "fig4" {
 		if *jsonOut {
 			fmt.Fprintln(os.Stderr, "sweep: -json is not available for fig4 (discharge curves run no campaign)")
@@ -70,19 +92,30 @@ func main() {
 		printFig4()
 		return
 	}
-	if !*jsonOut {
-		if *set == "tablei" || *set == "all" {
-			printTableI()
+	var items []powerfail.CatalogItem
+	if *traceFile != "" {
+		tr, err := powerfail.ParseTraceFile(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
-		if *set == "all" {
-			printFig4()
+		fmt.Fprintf(os.Stderr, "replaying %s\n", tr)
+		items = powerfail.TraceItemsFor(tr, *scale)
+	} else {
+		if !*jsonOut {
+			if *set == "tablei" || *set == "all" {
+				printTableI()
+			}
+			if *set == "all" {
+				printFig4()
+			}
 		}
-	}
-
-	items, err := powerfail.ItemsFor(*set, *scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		var err error
+		items, err = powerfail.ItemsFor(*set, *scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -191,6 +224,28 @@ func printFigure(fig string, results []powerfail.CatalogResult) {
 			fmt.Printf("| %s | %d | %d | %d | %d | %d | %d | %d | %.0f |\n",
 				res.Item.Label, r.Faults, s.Committed, s.Intact, s.LostCommits,
 				s.Torn, s.OutOfOrder, s.Unacked, scanPerFault)
+		}
+		return
+	}
+	traceMode := false
+	for _, res := range results {
+		if res.Err == nil && res.Report != nil && res.Report.TraceStats != nil {
+			traceMode = true
+			break
+		}
+	}
+	if traceMode {
+		fmt.Printf("| point | faults | data failures | FWA | IO errors | loss/fault | replayed | coverage | laps |\n")
+		fmt.Printf("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, res := range results {
+			if res.Err != nil {
+				fmt.Printf("| %s | ERROR: %v |\n", res.Item.Label, res.Err)
+				continue
+			}
+			r, s := res.Report, res.Report.TraceStats
+			fmt.Printf("| %s | %d | %d | %d | %d | %.2f | %d | %.0f%% | %d |\n",
+				res.Item.Label, r.Faults, r.Counters.DataFailures, r.Counters.FWA,
+				r.Counters.IOErrors, r.DataLossPerFault, s.Replayed, 100*s.Coverage, s.Laps)
 		}
 		return
 	}

@@ -1,0 +1,76 @@
+// Tracereplay contrasts synthetic and trace-driven traffic on the same
+// device under the same fault schedule. The paper's evaluation uses a
+// synthetic generator; real storage-reliability studies in its lineage
+// validate against block traces (MSR/FIU-style), whose burstiness,
+// skewed address reuse and mixed sizes stress the volatile paths
+// differently. Both streams run through the identical pipeline — the
+// block layer, the analyzer's shadow, the post-fault verification pass —
+// so the loss-per-fault numbers are directly comparable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerfail"
+)
+
+const faults = 12
+
+func run(name string, spec powerfail.Experiment) *powerfail.Report {
+	prof := powerfail.ProfileA()
+	prof.CapacityGB = 8
+	spec.Name = name
+	spec.Faults = faults
+	spec.RequestsPerFault = 16
+	rep, err := powerfail.Run(powerfail.Options{Seed: 11, Profile: prof}, spec)
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return rep
+}
+
+func main() {
+	tr, err := powerfail.BundledTrace("msr-web")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaying %s\n\n", tr)
+
+	w := powerfail.DefaultWorkload()
+	w.WSSBytes = 1 << 30 // match the trace's ~1 GiB extent on the 8 GB drive
+	synthetic := run("synthetic", powerfail.Experiment{Workload: w})
+	closed := run("trace/closed", powerfail.Experiment{
+		Trace: powerfail.TraceReplay(tr, powerfail.TraceClosedLoop),
+	})
+	open := run("trace/open", powerfail.Experiment{
+		Trace: powerfail.TraceReplay(tr, powerfail.TraceOpenLoop),
+	})
+
+	fmt.Printf("%-14s %-9s %-10s %-6s %-6s %-7s %-11s %s\n",
+		"traffic", "source", "requests", "data", "fwa", "ioerr", "loss/fault", "coverage")
+	for _, rep := range []*powerfail.Report{synthetic, closed, open} {
+		coverage := "-"
+		if s := rep.TraceStats; s != nil {
+			coverage = fmt.Sprintf("%.0f%% x%d laps", 100*s.Coverage, s.Laps)
+		}
+		fmt.Printf("%-14s %-9s %-10d %-6d %-6d %-7d %-11.2f %s\n",
+			rep.Name, rep.Source, rep.Requests, rep.Counters.DataFailures,
+			rep.Counters.FWA, rep.Counters.IOErrors, rep.DataLossPerFault, coverage)
+	}
+
+	fmt.Println("\nSame drive, same fault schedule: the replayed trace's write")
+	fmt.Println("stream hits the volatile cache exactly like the synthetic mix,")
+	fmt.Println("so acknowledged-but-lost writes appear under both — the loss")
+	fmt.Println("taxonomy generalizes beyond the paper's generator.")
+
+	if synthetic.DataLosses() == 0 {
+		log.Fatal("BUG: synthetic write workload lost nothing")
+	}
+	if closed.DataLosses() == 0 && open.DataLosses() == 0 {
+		log.Fatal("BUG: trace replay lost nothing on a volatile-cache SSD")
+	}
+	if closed.Source != "trace" || synthetic.Source != "workload" {
+		log.Fatal("BUG: reports do not record their IO source")
+	}
+}

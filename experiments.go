@@ -2,7 +2,9 @@ package powerfail
 
 import (
 	"context"
+	"embed"
 	"fmt"
+	"sort"
 	"strings"
 
 	"powerfail/internal/array"
@@ -11,6 +13,7 @@ import (
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/trace"
 	"powerfail/internal/txn"
 	"powerfail/internal/workload"
 )
@@ -436,6 +439,29 @@ func CacheItems(scale float64) []CatalogItem {
 	return items
 }
 
+// topoPoint is one device topology a figure sweeps.
+type topoPoint struct {
+	tag  string
+	opts func(seed uint64) Options
+}
+
+// comparatorTopos is the topology pair the application ("txn") and
+// replay ("trace") figures share: the small SSD A against a 64 GB
+// write-through HDD, so both figures contrast the volatile-cache drive
+// with the mechanical comparator under identical traffic.
+func comparatorTopos() []topoPoint {
+	return []topoPoint{
+		{"ssd", func(seed uint64) Options {
+			return Options{Seed: seed, Profile: arrayMember()}
+		}},
+		{"hdd", func(seed uint64) Options {
+			back := hdd.DefaultProfile()
+			back.CapacityGB = 64
+			return Options{Seed: seed, Topology: HDDTopology(back)}
+		}},
+	}
+}
+
 // TxnItems is the "txn" figure: the transactional WAL application layer
 // under power faults, crossing commit barrier policy (flush-per-commit,
 // group commit, no-flush) with device topology (single SSD, write-through
@@ -452,19 +478,7 @@ func TxnItems(scale float64) []CatalogItem {
 		{"group", txn.GroupCommit},
 		{"noflush", txn.NoFlush},
 	}
-	topos := []struct {
-		tag  string
-		opts func(seed uint64) Options
-	}{
-		{"ssd", func(seed uint64) Options {
-			return Options{Seed: seed, Profile: arrayMember()}
-		}},
-		{"hdd", func(seed uint64) Options {
-			back := hdd.DefaultProfile()
-			back.CapacityGB = 64
-			return Options{Seed: seed, Topology: HDDTopology(back)}
-		}},
-	}
+	topos := comparatorTopos()
 	timings := []struct {
 		tag string
 		rpf int
@@ -503,6 +517,89 @@ func TxnItems(scale float64) []CatalogItem {
 	return items
 }
 
+// bundledTraces are the small MSR-style trace fixtures checked in under
+// testdata/traces, embedded so the "trace" figure runs from any working
+// directory.
+//
+//go:embed testdata/traces/*.csv
+var bundledTraces embed.FS
+
+// BundledTraceNames lists the checked-in trace fixtures, sorted.
+func BundledTraceNames() []string {
+	ents, err := bundledTraces.ReadDir("testdata/traces")
+	if err != nil {
+		panic(err) // embedded directory cannot be missing
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, strings.TrimSuffix(e.Name(), ".csv"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BundledTrace parses one of the checked-in trace fixtures by name (see
+// BundledTraceNames).
+func BundledTrace(name string) (*TraceWorkload, error) {
+	f, err := bundledTraces.Open("testdata/traces/" + name + ".csv")
+	if err != nil {
+		return nil, fmt.Errorf("powerfail: unknown bundled trace %q (have %s)",
+			name, strings.Join(BundledTraceNames(), " "))
+	}
+	defer f.Close()
+	return ParseTrace(f, name)
+}
+
+// TraceItemsFor builds the trace-replay series for one parsed trace:
+// topology (single SSD, write-through HDD) × pacing (closed loop,
+// open loop at the trace's own arrival times), all under the same fault
+// schedule; >=40 faults per point at scale 1. cmd/sweep's -trace flag
+// runs it for an arbitrary trace file.
+func TraceItemsFor(tr *TraceWorkload, scale float64) []CatalogItem {
+	topos := comparatorTopos()
+	modes := []trace.Mode{trace.ClosedLoop, trace.OpenLoop}
+	var items []CatalogItem
+	i := 0
+	for _, topo := range topos {
+		for _, mode := range modes {
+			items = append(items, CatalogItem{
+				Figure: "trace",
+				Label:  fmt.Sprintf("%s/%s/%s", tr.Name, topo.tag, mode),
+				X:      float64(i),
+				Opts:   topo.opts(1600 + uint64(i)),
+				Spec: Experiment{
+					Name:             fmt.Sprintf("trace-%s-%s-%s", tr.Name, topo.tag, mode),
+					Source:           SourceTrace,
+					Trace:            TraceReplay(tr, mode),
+					Faults:           scaled(40, scale),
+					RequestsPerFault: 12,
+				},
+			})
+			i++
+		}
+	}
+	return items
+}
+
+// TraceItems is the "trace" figure: the bundled MSR-style fixtures
+// replayed through the fault pipeline over the TraceItemsFor matrix.
+func TraceItems(scale float64) []CatalogItem {
+	var items []CatalogItem
+	for ti, name := range BundledTraceNames() {
+		tr, err := BundledTrace(name)
+		if err != nil {
+			panic(err) // checked-in fixtures always parse; tests pin this
+		}
+		sub := TraceItemsFor(tr, scale)
+		for i := range sub {
+			sub[i].Opts.Seed += uint64(100 * ti) // distinct seeds per fixture
+			sub[i].X = float64(len(items) + i)
+		}
+		items = append(items, sub...)
+	}
+	return items
+}
+
 // FigureInfo describes one registered figure id for discovery (the sweep
 // tool's -list).
 type FigureInfo struct {
@@ -533,6 +630,7 @@ var figureRegistry = []figureEntry{
 	{"array", "Arrays — RAID-0/1/5 under correlated power faults", ArrayItems},
 	{"cache", "SSD cache over HDD — write-back vs write-through under faults", CacheItems},
 	{"txn", "Transactions — WAL barrier × topology × cut timing under faults", TxnItems},
+	{"trace", "Trace replay — bundled MSR-style traces × topology × pacing", TraceItems},
 }
 
 // AllItems returns the full catalog at the given scale, in registry order.

@@ -219,17 +219,13 @@ func TestLatencies(t *testing.T) {
 	}
 }
 
-func TestTracerCursor(t *testing.T) {
+func TestTracerRecordAndReset(t *testing.T) {
 	tr := NewTracer()
 	tr.Record(Event{Act: ActQueue, Req: 1})
-	evs, cur := tr.Since(0)
-	if len(evs) != 1 || cur != 1 {
-		t.Fatal("Since wrong")
-	}
 	tr.Record(Event{Act: ActQueue, Req: 2})
-	evs, cur = tr.Since(cur)
-	if len(evs) != 1 || evs[0].Req != 2 || cur != 2 {
-		t.Fatal("cursor advance wrong")
+	evs := tr.Events()
+	if len(evs) != 2 || tr.Len() != 2 || evs[1].Req != 2 {
+		t.Fatal("Events wrong")
 	}
 	tr.Reset()
 	if tr.Len() != 0 {

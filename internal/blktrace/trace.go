@@ -71,8 +71,8 @@ func (e Event) String() string {
 		e.At.Seconds(), e.Act, e.Op, e.Req, e.Sub, e.LPN, e.Pages)
 }
 
-// Tracer accumulates events. It is append-only; analyzers consume windows
-// of the stream via Since.
+// Tracer accumulates events. It is append-only; the analyzer folds the
+// whole stream into its packets after each fault and Resets it.
 type Tracer struct {
 	events  []Event
 	enabled bool
@@ -96,17 +96,6 @@ func (t *Tracer) Len() int { return len(t.events) }
 
 // Events returns the full stream (shared slice; callers must not modify).
 func (t *Tracer) Events() []Event { return t.events }
-
-// Since returns events from index from onward plus the next cursor value.
-func (t *Tracer) Since(from int) ([]Event, int) {
-	if from < 0 {
-		from = 0
-	}
-	if from > len(t.events) {
-		from = len(t.events)
-	}
-	return t.events[from:], len(t.events)
-}
 
 // Reset discards all recorded events.
 func (t *Tracer) Reset() { t.events = t.events[:0] }

@@ -112,10 +112,15 @@ func (a *Analyzer) BeginFault(at sim.Time) int {
 	return len(a.perFault) - 1
 }
 
-// OnIssue registers a submitted workload request. For writes it captures
-// the initial (pre-request) checksums and advances the shadow expectation,
-// so overlapping writes chain correctly (WAW sequences).
-func (a *Analyzer) OnIssue(req *blockdev.Request, op workload.Op) *Packet {
+// OnIssue registers a submitted workload request; the packet direction
+// is taken from the request itself. For writes it captures the initial
+// (pre-request) checksums and advances the shadow expectation, so
+// overlapping writes chain correctly (WAW sequences).
+func (a *Analyzer) OnIssue(req *blockdev.Request) *Packet {
+	op := workload.OpRead
+	if req.Op == blockdev.OpWrite {
+		op = workload.OpWrite
+	}
 	pkt := &Packet{
 		ReqID:     req.ID,
 		Op:        op,

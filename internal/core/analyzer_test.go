@@ -9,7 +9,6 @@ import (
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
 	"powerfail/internal/sim"
-	"powerfail/internal/workload"
 )
 
 func newAnalyzer() (*sim.Kernel, *Analyzer) {
@@ -21,7 +20,7 @@ func newAnalyzer() (*sim.Kernel, *Analyzer) {
 // out of the pending set, mirroring the runner's VerifyCandidates flow.
 func issueWrite(a *Analyzer, id uint64, lpn int64, data content.Data) *Packet {
 	req := &blockdev.Request{ID: id, Op: blockdev.OpWrite, LPN: addr.LPN(lpn), Pages: data.Pages(), Data: data}
-	pkt := a.OnIssue(req, workload.OpWrite)
+	pkt := a.OnIssue(req)
 	a.OnComplete(req)
 	pkt.Completed = true
 	a.pending = a.pending[:0]
@@ -84,7 +83,7 @@ func TestClassifyPartialFlushIsDataFailure(t *testing.T) {
 func TestClassifyIOError(t *testing.T) {
 	_, a := newAnalyzer()
 	req := &blockdev.Request{ID: 1, Op: blockdev.OpWrite, LPN: 0, Pages: 1, Data: content.Make(1), Err: errors.New("x")}
-	pkt := a.OnIssue(req, workload.OpWrite)
+	pkt := a.OnIssue(req)
 	a.OnComplete(req)
 	pkt.Completed = false
 	if got := a.Classify(pkt, content.Data{}, 0); got != FailIOError {
@@ -95,7 +94,7 @@ func TestClassifyIOError(t *testing.T) {
 func TestClassifyReadNeverDataFailure(t *testing.T) {
 	_, a := newAnalyzer()
 	req := &blockdev.Request{ID: 1, Op: blockdev.OpRead, LPN: 0, Pages: 4}
-	pkt := a.OnIssue(req, workload.OpRead)
+	pkt := a.OnIssue(req)
 	a.OnComplete(req)
 	pkt.Completed = true
 	if got := a.Classify(pkt, content.Data{}, 0); got != FailNone {
@@ -155,7 +154,7 @@ func TestPrevCaptureChains(t *testing.T) {
 func TestNotIssuedSkipsVerification(t *testing.T) {
 	_, a := newAnalyzer()
 	req := &blockdev.Request{ID: 1, Op: blockdev.OpWrite, LPN: 0, Pages: 1, Data: content.Make(1), NotIssued: true, Err: blockdev.ErrQueueFull}
-	a.OnIssue(req, workload.OpWrite)
+	a.OnIssue(req)
 	a.OnComplete(req) // not-issued packets never join the pending set
 	if got := len(a.VerifyCandidates(0)); got != 0 {
 		t.Fatalf("not-issued packet in verify set (%d)", got)
@@ -204,7 +203,7 @@ func TestLateCorruptionCountsOnce(t *testing.T) {
 func TestAttachTrace(t *testing.T) {
 	_, a := newAnalyzer()
 	req := &blockdev.Request{ID: 42, Op: blockdev.OpWrite, LPN: 0, Pages: 1, Data: content.Make(1)}
-	a.OnIssue(req, workload.OpWrite)
+	a.OnIssue(req)
 	a.OnComplete(req) // stays pending so VerifyCandidates returns it
 	ios := []*blktrace.IO{{Req: 42, Subs: 1, SubsDone: 1}}
 	a.AttachTrace(ios)

@@ -82,6 +82,9 @@ type Packet struct {
 	FaultIdx int
 }
 
+// IsRead reports whether the packet is a read request.
+func (p *Packet) IsRead() bool { return p.Op == workload.OpRead }
+
 // prevData assembles the initial content as a Data vector.
 func (p *Packet) prevData() content.Data {
 	return content.Gather(p.Pages, func(i int) content.Fingerprint { return p.Prev[i] })

@@ -85,6 +85,9 @@ type Options struct {
 	PSU power.Config
 	// Concurrency is the closed-loop outstanding-request budget
 	// (default 1: a synchronous IO thread, as in the paper's generator).
+	// It also sizes the post-fault control-read pipeline: up to this many
+	// verification/recovery reads stay in flight at once, so values above
+	// 1 shorten fault cycles on multi-channel devices.
 	Concurrency int
 	// ThinkTime separates a completion from the next closed-loop issue.
 	ThinkTime sim.Duration

@@ -9,6 +9,7 @@ import (
 	"powerfail/internal/hdd"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/trace"
 	"powerfail/internal/txn"
 )
 
@@ -17,9 +18,12 @@ import (
 // marshal to JSON (simulated times are nanosecond integers) so sweeps can
 // be post-processed by scripts.
 type Report struct {
-	Name    string         `json:"name"`
-	Profile string         `json:"profile"`
-	Spec    ExperimentSpec `json:"spec"`
+	Name    string `json:"name"`
+	Profile string `json:"profile"`
+	// Source records which IO source drove the experiment ("workload",
+	// "txn", "trace").
+	Source string         `json:"io_source"`
+	Spec   ExperimentSpec `json:"spec"`
 
 	SimDuration sim.Duration `json:"sim_ns"`
 	// ActiveTime is powered-on workload time (excludes fault cycles);
@@ -61,8 +65,15 @@ type Report struct {
 	// TxnStats is set when the transactional application layer ran: the
 	// oracle's per-class verdict counts (intact / lost-commit / torn /
 	// out-of-order), the oldest lost commit sequence, and the recovery
-	// scan lengths.
-	TxnStats *txn.Stats `json:"txn_stats,omitempty"`
+	// scan lengths. TxnPerFault is the same breakdown per fault cycle,
+	// index-aligned with PerFault.
+	TxnStats    *txn.Stats          `json:"txn_stats,omitempty"`
+	TxnPerFault []txn.CycleVerdicts `json:"txn_per_fault,omitempty"`
+
+	// TraceStats is set when a trace replay drove the experiment: rows
+	// replayed, laps over the trace, coverage, and how many addresses had
+	// to be scaled/clamped into the device.
+	TraceStats *trace.Stats `json:"trace_stats,omitempty"`
 }
 
 // MemberReport is one array member's view of the experiment: how much it
@@ -120,6 +131,10 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  member %d (%s, %s): reads=%d writes=%d errors=%d deaths=%d dirty-lost=%d | data=%d fwa=%d ioerr=%d\n",
 			m.Index, m.Name, m.Role, m.Reads, m.Writes, m.Errors, m.Deaths, m.DirtyPagesLost,
 			m.DataFailures, m.FWA, m.IOErrors)
+	}
+	if s := r.TraceStats; s != nil {
+		fmt.Fprintf(&b, "  trace:    %d rows, replayed %d (%d laps, %.0f%% coverage, %d scaled/clamped)\n",
+			s.Records, s.Replayed, s.Laps, 100*s.Coverage, s.Clamped)
 	}
 	if s := r.TxnStats; s != nil {
 		fmt.Fprintf(&b, "  %s\n", s)

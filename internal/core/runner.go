@@ -12,54 +12,7 @@ import (
 	"powerfail/internal/hdd"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
-	"powerfail/internal/txn"
-	"powerfail/internal/workload"
 )
-
-// ExperimentSpec describes one fault-injection experiment.
-type ExperimentSpec struct {
-	Name     string        `json:"name"`
-	Workload workload.Spec `json:"workload"`
-	// Faults is the number of power faults to inject.
-	Faults int `json:"faults"`
-	// RequestsPerFault spaces fault injections by completed workload
-	// requests (jittered by +/-25%).
-	RequestsPerFault int `json:"requests_per_fault"`
-	// WindowMode pauses the workload after a chosen request completes and
-	// injects the fault PostACKDelay later — the Section IV-A experiment
-	// measuring data loss after request completion.
-	WindowMode   bool         `json:"window_mode,omitempty"`
-	PostACKDelay sim.Duration `json:"post_ack_delay_ns,omitempty"`
-	// MaxSimTime aborts a runaway experiment (default 6 simulated hours).
-	MaxSimTime sim.Duration `json:"max_sim_time_ns,omitempty"`
-}
-
-// Validate checks the specification for the plain-workload configuration.
-func (s ExperimentSpec) Validate() error { return s.validateFor(false) }
-
-// validateFor checks the specification. With an application layer the
-// Workload is ignored by the runner (the application generates its own
-// IO), so only the fault-cycle fields are checked — except that open-loop
-// pacing is rejected, because the application is inherently closed-loop.
-func (s ExperimentSpec) validateFor(app bool) error {
-	if app {
-		if s.Workload.IOPS > 0 {
-			return fmt.Errorf("core: application layer is closed-loop; Workload.IOPS must be 0")
-		}
-	} else if err := s.Workload.Validate(); err != nil {
-		return err
-	}
-	if s.Faults <= 0 {
-		return fmt.Errorf("core: Faults must be positive, got %d", s.Faults)
-	}
-	if s.RequestsPerFault <= 0 {
-		return fmt.Errorf("core: RequestsPerFault must be positive, got %d", s.RequestsPerFault)
-	}
-	if s.WindowMode && s.PostACKDelay < 0 {
-		return fmt.Errorf("core: negative PostACKDelay")
-	}
-	return nil
-}
 
 type phase int
 
@@ -70,7 +23,7 @@ const (
 	phaseFaulting              // power off, waiting for discharge floor
 	phaseRestored              // power restored, waiting for device ready
 	phaseVerify                // verification reads in progress
-	phaseOracle                // application recovery: log scan + verdicts
+	phaseRecovery              // source recovery pass: read-back + verdicts
 	phaseDone
 )
 
@@ -80,7 +33,13 @@ type Runner struct {
 	p    *Platform
 	spec ExperimentSpec
 
-	gen      *workload.Generator
+	// src is the experiment's one IO source (synthetic generator,
+	// transaction engine or trace replayer behind the same interface);
+	// recovery is non-nil when the source wants a post-fault read-back
+	// pass (the transaction oracle).
+	src      Source
+	recovery RecoverySource
+
 	analyzer *Analyzer
 	rng      *sim.RNG
 
@@ -94,15 +53,9 @@ type Runner struct {
 	faultsDone          int
 	faultIdx            int
 
+	// verifyQueue marks a verification pass in progress (nil otherwise);
+	// both it and the recovery pass run through controlPump.
 	verifyQueue []*Packet
-	verifyPos   int
-
-	// Application layer (txn mode): the engine replaces the workload
-	// generator as the IO source, and after each fault's verification pass
-	// the oracle reads the log and home pages back for its verdicts.
-	engine      *txn.Engine
-	oracleReads []addr.LPN
-	oraclePos   int
 
 	activeSince  sim.Time
 	activeTotal  sim.Duration
@@ -114,8 +67,11 @@ type Runner struct {
 
 // NewRunner prepares an experiment on the platform.
 func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
-	appMode := p.Opts.App.Enabled()
-	if err := spec.validateFor(appMode); err != nil {
+	kind := spec.sourceKind(p.Opts.App.Enabled())
+	if p.Opts.App.Enabled() && kind != SourceTxn {
+		return nil, fmt.Errorf("core: Options.App is configured but the spec selects the %q source", kind)
+	}
+	if err := spec.validate(kind); err != nil {
 		return nil, err
 	}
 	if spec.MaxSimTime == 0 {
@@ -127,22 +83,13 @@ func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
 		analyzer: NewAnalyzer(p.K, p.Opts.RecheckWindow),
 		rng:      p.RNG.Fork("runner"),
 	}
-	if appMode {
-		eng, err := txn.NewEngine(*p.Opts.App.Txn, p.K, p.RNG.Fork("txn"), p.Dev.UserPages())
-		if err != nil {
-			return nil, err
-		}
-		r.engine = eng
-	} else {
-		if cap := p.Dev.UserPages() << addr.PageShift; spec.Workload.WSSBytes > cap {
-			return nil, fmt.Errorf("core: workload WSS %d GB exceeds the device's %d GB capacity",
-				spec.Workload.WSSBytes>>30, cap>>30)
-		}
-		gen, err := workload.NewGenerator(spec.Workload, p.RNG.Fork("workload"))
-		if err != nil {
-			return nil, err
-		}
-		r.gen = gen
+	src, err := newSource(kind, p, spec)
+	if err != nil {
+		return nil, err
+	}
+	r.src = src
+	if rs, ok := src.(RecoverySource); ok {
+		r.recovery = rs
 	}
 	if p.Array != nil {
 		r.analyzer.SetAttribution(len(p.Array.Members()), p.Array.Attribute)
@@ -152,6 +99,9 @@ func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
 
 // Analyzer exposes the failure bookkeeping (for tests and reports).
 func (r *Runner) Analyzer() *Analyzer { return r.analyzer }
+
+// Source exposes the experiment's IO source (for tests).
+func (r *Runner) Source() Source { return r.src }
 
 // ctxCheckInterval is how many kernel events fire between context polls.
 // An event is microseconds of wall time, so cancellation latency stays in
@@ -189,7 +139,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		}
 	})
 
-	if r.spec.Workload.IOPS > 0 {
+	if r.src.OpenLoop() {
 		r.scheduleArrival()
 	} else {
 		r.fillClosedLoop()
@@ -220,7 +170,7 @@ func (r *Runner) jitteredTarget() int {
 	return base - j + r.rng.Intn(2*j+1)
 }
 
-// --- workload issue paths ---
+// --- the one issue path ---
 
 func (r *Runner) fillClosedLoop() {
 	for r.ph == phaseRun || r.ph == phaseArming {
@@ -228,9 +178,9 @@ func (r *Runner) fillClosedLoop() {
 			return
 		}
 		if !r.issueOne() {
-			// The application has nothing issuable until a completion
-			// advances its state machine; never the case at zero
-			// outstanding, so the loop cannot stall.
+			// The source has nothing issuable until a completion advances
+			// its state machine; never the case at zero outstanding, so
+			// the loop cannot stall.
 			return
 		}
 	}
@@ -240,9 +190,9 @@ func (r *Runner) scheduleArrival() {
 	if r.ph == phaseDone {
 		return
 	}
-	r.p.K.After(r.gen.NextArrival(), func() {
-		// Like the closed-loop thread, the open-loop generator is unaware
-		// of the scheduler's fault and keeps submitting through the
+	r.p.K.After(r.src.NextArrival(), func() {
+		// Like the closed-loop thread, the open-loop source is unaware of
+		// the scheduler's fault and keeps submitting through the
 		// discharge until errors surface.
 		if r.ph == phaseRun || r.ph == phaseArming ||
 			(r.ph == phaseFaulting && !r.faultErrored) {
@@ -252,63 +202,36 @@ func (r *Runner) scheduleArrival() {
 	})
 }
 
+// issueOne pulls the source's next IO and puts it on the wire. Writes and
+// reads are analyzer packets — they cross the block layer and the
+// analyzer's shadow identically whatever produced them, which is what
+// makes application-level verdicts corroborable by the device-level
+// taxonomy. Barrier flushes carry no payload and are not packets.
 func (r *Runner) issueOne() bool {
-	if r.engine != nil {
-		return r.issueEngineIO()
-	}
-	item := r.gen.Next()
-	req := &blockdev.Request{
-		Pages: item.Pages,
-		LPN:   item.LPN,
-		Done:  r.onWorkloadDone,
-	}
-	if item.Op == workload.OpWrite {
-		req.Op = blockdev.OpWrite
-		req.Data = item.Data
-	} else {
-		req.Op = blockdev.OpRead
-	}
-	r.outstanding++
-	r.issuedTotal++
-	r.p.Host.Submit(req)
-	r.analyzer.OnIssue(req, item.Op)
-	return true
-}
-
-// issueEngineIO pulls the next IO from the transaction engine. Engine
-// writes are ordinary workload requests — they cross the block layer and
-// the analyzer's shadow exactly like generator traffic, which is what
-// makes the oracle's verdicts corroborable by the device-level taxonomy.
-// Barrier flushes carry no payload and are not analyzer packets.
-func (r *Runner) issueEngineIO() bool {
-	io, ok := r.engine.Next()
+	io, ok := r.src.Next()
 	if !ok {
 		return false
 	}
 	req := &blockdev.Request{
+		Op:    io.Op,
 		LPN:   io.LPN,
-		Pages: io.Pages(),
+		Pages: io.Pages,
+		Data:  io.Data,
 		Done: func(req *blockdev.Request) {
-			r.engine.Done(io, req.Err)
-			r.onWorkloadDone(req)
+			r.src.Done(io, req.Err)
+			r.onIOComplete(req)
 		},
-	}
-	if io.Kind == txn.IOFlush {
-		req.Op = blockdev.OpFlush
-	} else {
-		req.Op = blockdev.OpWrite
-		req.Data = io.Data
 	}
 	r.outstanding++
 	r.issuedTotal++
 	r.p.Host.Submit(req)
-	if req.Op == blockdev.OpWrite {
-		r.analyzer.OnIssue(req, workload.OpWrite)
+	if req.Op != blockdev.OpFlush {
+		r.analyzer.OnIssue(req)
 	}
 	return true
 }
 
-func (r *Runner) onWorkloadDone(req *blockdev.Request) {
+func (r *Runner) onIOComplete(req *blockdev.Request) {
 	r.outstanding--
 	r.analyzer.OnComplete(req)
 	if !req.NotIssued {
@@ -333,7 +256,7 @@ func (r *Runner) onWorkloadDone(req *blockdev.Request) {
 		}
 		r.reissueAfterThink()
 	case phaseArming, phaseFaulting:
-		// The IO generator is oblivious to the scheduler's fault: it keeps
+		// The IO source is oblivious to the scheduler's fault: it keeps
 		// issuing through the discharge until it observes an error, which
 		// is how requests get caught in flight (IO errors). A host-queue
 		// rejection is backpressure, not a device error.
@@ -342,14 +265,14 @@ func (r *Runner) onWorkloadDone(req *blockdev.Request) {
 		} else if req.Err == nil {
 			r.reissueAfterThink()
 		}
-	case phaseVerify, phaseOracle, phaseRestored, phasePaused:
-		// Workload requests draining during a fault cycle; nothing to do.
+	case phaseVerify, phaseRecovery, phaseRestored, phasePaused:
+		// Source requests draining during a fault cycle; nothing to do.
 	}
 	r.maybeStartVerify()
 }
 
 func (r *Runner) reissueAfterThink() {
-	if r.spec.Workload.IOPS > 0 {
+	if r.src.OpenLoop() {
 		return // open loop: arrivals are self-scheduled
 	}
 	r.p.K.After(r.p.Opts.ThinkTime, func() {
@@ -358,12 +281,10 @@ func (r *Runner) reissueAfterThink() {
 			if !r.issueOne() {
 				return
 			}
-			if r.engine != nil {
-				// One completion can unlock several engine IOs (a commit
-				// ACK queues a batch of home writes); keep the closed
-				// loop full outside fault cycles.
-				r.fillClosedLoop()
-			}
+			// One completion can unlock several source IOs (a commit ACK
+			// queues a batch of home writes); keep the closed loop full
+			// outside fault cycles.
+			r.fillClosedLoop()
 		}
 	})
 }
@@ -431,23 +352,55 @@ func (r *Runner) maybeStartVerify() {
 		r.p.Tracer.Reset()
 	}
 	r.verifyQueue = r.analyzer.VerifyCandidates(r.p.K.Now())
-	r.verifyPos = 0
-	r.verifyNext()
+	r.newControlPump(len(r.verifyQueue), r.verifyOne, r.finishVerification).pump()
 }
 
-func (r *Runner) verifyNext() {
-	if r.verifyPos >= len(r.verifyQueue) {
-		r.finishVerification()
-		return
+// controlPump runs one pipelined control-read pass, keeping up to
+// Opts.Concurrency reads in flight. At the default concurrency of 1 a
+// pass is a strict in-order walk; higher values pipeline the read-backs,
+// which dominate a fault cycle's simulated time on large
+// RequestsPerFault experiments. The verification pass and the source
+// recovery pass share it, so both always see the same pipelining policy.
+type controlPump struct {
+	r        *Runner
+	n        int
+	pos      int
+	inFlight int
+	// issue starts item i and must call done exactly once when its read
+	// completes; it returns false when the item was handled inline with
+	// no read (done must not be called then).
+	issue  func(i int, done func()) bool
+	finish func()
+}
+
+func (r *Runner) newControlPump(n int, issue func(i int, done func()) bool, finish func()) *controlPump {
+	return &controlPump{r: r, n: n, issue: issue, finish: finish}
+}
+
+func (p *controlPump) pump() {
+	for p.inFlight < p.r.p.Opts.Concurrency && p.pos < p.n {
+		i := p.pos
+		p.pos++
+		// Completions are their own kernel events, so done can never run
+		// before issue returns and the in-flight accounting stays exact.
+		if p.issue(i, func() { p.inFlight--; p.pump() }) {
+			p.inFlight++
+		}
 	}
-	pkt := r.verifyQueue[r.verifyPos]
-	if pkt.Op == workload.OpRead || pkt.NotIssued {
+	if p.inFlight == 0 && p.pos >= p.n {
+		p.finish()
+	}
+}
+
+// verifyOne classifies the i-th verification candidate, reading the
+// drive back for completed writes.
+func (r *Runner) verifyOne(i int, done func()) bool {
+	pkt := r.verifyQueue[i]
+	if pkt.IsRead() || pkt.NotIssued {
 		// Reads carry no durable expectation: only the completed flag
 		// matters (IO error detection).
 		r.analyzer.Classify(pkt, content.Data{}, r.faultIdx)
-		r.verifyPos++
-		r.verifyNext()
-		return
+		return false
 	}
 	r.controlRead(pkt.LPN, pkt.Pages, 0, func(result content.Data, err error) {
 		if err != nil {
@@ -455,16 +408,16 @@ func (r *Runner) verifyNext() {
 		} else {
 			r.analyzer.Classify(pkt, result, r.faultIdx)
 		}
-		r.verifyPos++
-		r.verifyNext()
+		done()
 	})
+	return true
 }
 
 // controlRead issues a post-recovery platform read of [lpn, lpn+pages).
 // The drive should be ready, so errors are retried a few times before the
 // final outcome is surfaced to done (exactly once). Both the packet
-// verification pass and the transaction oracle read through here, so the
-// two classifiers always see the device through the same retry policy.
+// verification pass and the source recovery pass read through here, so
+// the two classifiers always see the device through the same retry policy.
 func (r *Runner) controlRead(lpn addr.LPN, pages, attempt int, done func(result content.Data, err error)) {
 	req := &blockdev.Request{
 		Op:      blockdev.OpRead,
@@ -488,44 +441,39 @@ func (r *Runner) controlRead(lpn addr.LPN, pages, attempt int, done func(result 
 
 func (r *Runner) finishVerification() {
 	r.verifyQueue = nil
-	if r.engine != nil {
-		r.startOracle()
+	if r.recovery != nil {
+		r.startRecovery()
 		return
 	}
 	r.finishCycle()
 }
 
-// --- application recovery (txn mode) ---
+// --- source recovery pass ---
 
-// startOracle runs the crash-consistency oracle after the device-level
-// verification pass: read the log region and the ledger's home pages
-// back, then let the engine replay the log and judge every acknowledged
-// transaction.
-func (r *Runner) startOracle() {
-	r.ph = phaseOracle
-	r.oracleReads = r.engine.RecoveryReads()
-	r.oraclePos = 0
-	r.oracleNext()
-}
-
-func (r *Runner) oracleNext() {
-	if r.oraclePos >= len(r.oracleReads) {
-		r.oracleReads = nil
-		r.engine.FinishRecovery()
+// startRecovery runs the source's recovery hook after the device-level
+// verification pass: read back whatever the source wants to inspect (the
+// transaction oracle's log region and home pages), then let it judge what
+// survived.
+func (r *Runner) startRecovery() {
+	r.ph = phaseRecovery
+	reads := r.recovery.RecoveryReads()
+	r.newControlPump(len(reads), func(i int, done func()) bool {
+		lpn := reads[i]
+		r.controlRead(lpn, 1, 0, func(result content.Data, err error) {
+			if err != nil {
+				// Unreadable after retries: the source treats the page as
+				// torn.
+				r.recovery.Observe(lpn, 0, err)
+			} else {
+				r.recovery.Observe(lpn, result.Page(0), nil)
+			}
+			done()
+		})
+		return true
+	}, func() {
+		r.recovery.FinishRecovery()
 		r.finishCycle()
-		return
-	}
-	lpn := r.oracleReads[r.oraclePos]
-	r.controlRead(lpn, 1, 0, func(result content.Data, err error) {
-		if err != nil {
-			// Unreadable after retries: the oracle treats the page as torn.
-			r.engine.Observe(lpn, 0, err)
-		} else {
-			r.engine.Observe(lpn, result.Page(0), nil)
-		}
-		r.oraclePos++
-		r.oracleNext()
-	})
+	}).pump()
 }
 
 // finishCycle closes a fault cycle and resumes (or ends) the workload.
@@ -540,7 +488,7 @@ func (r *Runner) finishCycle() {
 	}
 	r.ph = phaseRun
 	r.activeSince = r.p.K.Now()
-	if r.spec.Workload.IOPS <= 0 {
+	if !r.src.OpenLoop() {
 		r.fillClosedLoop()
 	}
 }
@@ -560,6 +508,7 @@ func (r *Runner) report() *Report {
 	rep := &Report{
 		Name:          r.spec.Name,
 		Profile:       r.p.Dev.Name(),
+		Source:        r.src.Kind(),
 		Spec:          r.spec,
 		SimDuration:   r.p.K.Now().Sub(r.startedAt),
 		ActiveTime:    active,
@@ -577,9 +526,8 @@ func (r *Runner) report() *Report {
 		HostStats:     r.p.Host.Stats(),
 		RequestedIOPS: r.spec.Workload.IOPS,
 	}
-	if r.engine != nil {
-		ts := r.engine.Stats()
-		rep.TxnStats = &ts
+	if rp, ok := r.src.(reporter); ok {
+		rp.addToReport(rep)
 	}
 	if r.p.SSD != nil {
 		st := r.p.SSD.Stats()

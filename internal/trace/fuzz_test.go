@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"powerfail/internal/addr"
+)
+
+// FuzzParseTrace: arbitrary bytes must never panic the parser, and any
+// trace it accepts must be canonical. Two properties are enforced:
+//
+//  1. Parse returns (*Trace, error) for arbitrary input without
+//     panicking — a corrupt trace file fails loudly, it never crashes a
+//     campaign or replays garbage.
+//  2. Canonical form: every accepted record respects the documented
+//     bounds (positive page count, bounded size, in-range address,
+//     non-decreasing arrivals starting at zero), and re-formatting the
+//     records with FormatRecord then re-parsing yields the identical
+//     trace — accepted rows have exactly one meaning.
+func FuzzParseTrace(f *testing.F) {
+	// Seed corpus: the golden fixtures, boundary rows, and targeted
+	// corruptions of a valid row.
+	for _, fixture := range []string{
+		"good-msr.csv", "good-simple.csv", "zero-size.csv", "bad-op.csv",
+		"out-of-range.csv", "backwards-ts.csv", "mixed-columns.csv",
+	} {
+		b, err := os.ReadFile("testdata/" + fixture)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	row := "1000,W,4096,8192\n"
+	seeds := []string{
+		"",
+		"# comment only\n",
+		"Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n",
+		row,
+		row + "1000,R,0,1\n",
+		"0,W,0,1073741824\n",                      // exactly the size bound
+		"0,W,1125899906842623,1\n",                // offset at the address bound
+		"9223372036854775807,W,0,4096\n",          // timestamp at int64 max
+		"0,w,0,4096\n128166372003061629,W,0,1\n",  // giant timestamp jump
+		strings.Repeat("0,W,0,4096\n", 50),        // repeated identical rows
+		"128166372003061629,h,0,Write,0,4096,1\n", // MSR row
+	}
+	for i := 0; i < len(row); i++ {
+		mut := []byte(row)
+		mut[i] ^= 0x20
+		seeds = append(seeds, string(mut))
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := Parse(bytes.NewReader(b), "fuzz")
+		if err != nil {
+			return // rejected input: fine, campaigns fail loudly
+		}
+		if len(tr.Records) == 0 {
+			t.Fatal("accepted a trace with no records")
+		}
+		var prev int64 = -1
+		var out strings.Builder
+		for i, rec := range tr.Records {
+			if rec.Pages <= 0 {
+				t.Fatalf("record %d has %d pages", i, rec.Pages)
+			}
+			if int64(rec.Pages)*addr.PageBytes > MaxRecordBytes {
+				t.Fatalf("record %d exceeds the size bound: %d pages", i, rec.Pages)
+			}
+			if rec.LPN < 0 || rec.LPN.ByteOffset() > MaxOffsetBytes {
+				t.Fatalf("record %d out of address range: %v", i, rec.LPN)
+			}
+			if int64(rec.At) < prev {
+				t.Fatalf("record %d arrival moves backwards", i)
+			}
+			prev = int64(rec.At)
+			out.WriteString(FormatRecord(rec))
+			out.WriteByte('\n')
+		}
+		if tr.Records[0].At != 0 {
+			t.Fatalf("first arrival at %v, want 0", tr.Records[0].At)
+		}
+		tr2, err := Parse(strings.NewReader(out.String()), "fuzz")
+		if err != nil {
+			t.Fatalf("canonical re-encode rejected: %v\n%s", err, out.String())
+		}
+		if len(tr2.Records) != len(tr.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(tr.Records), len(tr2.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("round trip changed record %d: %+v -> %+v", i, tr.Records[i], tr2.Records[i])
+			}
+		}
+	})
+}

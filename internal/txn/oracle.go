@@ -105,15 +105,16 @@ type observation struct {
 	ok  bool
 }
 
-// CycleVerdicts is the outcome of one oracle run.
+// CycleVerdicts is the outcome of one oracle run: the per-fault-cycle
+// slice of Stats, reported next to the block-level PerFault breakdown.
 type CycleVerdicts struct {
-	Evaluated   int
-	Intact      int
-	LostCommits int
-	Torn        int
-	OutOfOrder  int
-	Unacked     int
-	ScanPages   int
+	Evaluated   int `json:"evaluated"`
+	Intact      int `json:"intact"`
+	LostCommits int `json:"lost_commits"`
+	Torn        int `json:"torn"`
+	OutOfOrder  int `json:"out_of_order"`
+	Unacked     int `json:"unacked"`
+	ScanPages   int `json:"scan_pages"`
 }
 
 // RecoveryReads returns the pages the oracle needs after the device

@@ -36,6 +36,13 @@
 // divergence and lost dirty cache lines emerge from the per-device models
 // composing, not from scripted outcomes.
 //
+// Traffic comes from one of three IO sources behind a single pluggable
+// interface: the paper's synthetic workload generator (the default), the
+// transactional WAL application layer (Options.App), or an MSR-style
+// block-trace replayer (Experiment.Trace, via ParseTrace/ParseTraceFile
+// or the bundled fixtures) replaying real traces open- or closed-loop
+// through the identical fault pipeline.
+//
 // The paper's hardware — an Arduino-controlled ATX supply whose slow
 // capacitive discharge the drive under test experiences — and the drives
 // themselves are modelled in detail (see DESIGN.md); the software part of
@@ -51,6 +58,7 @@ package powerfail
 
 import (
 	"context"
+	"io"
 
 	"powerfail/internal/array"
 	"powerfail/internal/blockdev"
@@ -60,6 +68,7 @@ import (
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
+	"powerfail/internal/trace"
 	"powerfail/internal/txn"
 	"powerfail/internal/workload"
 )
@@ -132,6 +141,26 @@ type (
 	// Report (intact / lost-commit / torn / out-of-order, oldest lost
 	// sequence, recovery scan lengths).
 	TxnStats = txn.Stats
+	// TxnCycleVerdicts is the oracle's per-fault verdict breakdown
+	// (Report.TxnPerFault, index-aligned with Report.PerFault).
+	TxnCycleVerdicts = txn.CycleVerdicts
+
+	// SourceKind selects the runner's IO source (synthetic workload,
+	// transaction engine, or trace replay); the zero value infers it from
+	// the rest of the configuration.
+	SourceKind = core.SourceKind
+	// TraceWorkload is a parsed block trace (see ParseTrace/ParseTraceFile
+	// and BundledTrace).
+	TraceWorkload = trace.Trace
+	// TraceConfig selects a parsed trace and its replay pacing; assign a
+	// pointer to Experiment.Trace.
+	TraceConfig = trace.Config
+	// TraceMode selects open-loop (original arrival times) or closed-loop
+	// (as fast as possible) replay.
+	TraceMode = trace.Mode
+	// TraceStats carries replay coverage in a Report (rows replayed, laps,
+	// coverage, scaled/clamped addresses).
+	TraceStats = trace.Stats
 
 	// Duration and Time are simulated-clock units.
 	Duration = sim.Duration
@@ -191,6 +220,23 @@ const (
 	// NoFlushBarrier acknowledges on the device write ACK — exposing
 	// volatile-cache lies at transaction granularity.
 	NoFlushBarrier = txn.NoFlush
+)
+
+// IO source kinds (Experiment.Source; SourceAuto infers from the rest of
+// the configuration).
+const (
+	SourceAuto     = core.SourceAuto
+	SourceWorkload = core.SourceWorkload
+	SourceTxn      = core.SourceTxn
+	SourceTrace    = core.SourceTrace
+)
+
+// Trace replay modes.
+const (
+	// TraceClosedLoop replays as fast as possible.
+	TraceClosedLoop = trace.ClosedLoop
+	// TraceOpenLoop replays with the original inter-arrival times.
+	TraceOpenLoop = trace.OpenLoop
 )
 
 // Simulated time units.
@@ -267,6 +313,23 @@ func RAIDConfig(level ArrayLevel, n int, member SSDProfile) ArrayConfig {
 // CacheConfig builds an SSD-cache-over-HDD array with the given policy.
 func CacheConfig(cache SSDProfile, backing HDDProfile, policy CachePolicy) ArrayConfig {
 	return ArrayConfig{Level: Cached, Cache: cache, Backing: backing, Policy: policy}
+}
+
+// ParseTrace parses an MSR-Cambridge-style CSV block trace from r (see
+// internal/trace for the accepted formats). Assign the result to an
+// Experiment via TraceReplay or a TraceConfig.
+func ParseTrace(r io.Reader, name string) (*TraceWorkload, error) { return trace.Parse(r, name) }
+
+// ParseTraceFile parses the block trace at path; the trace name is the
+// base filename without its extension.
+func ParseTraceFile(path string) (*TraceWorkload, error) { return trace.ParseFile(path) }
+
+// TraceReplay returns the Experiment.Trace configuration replaying tr in
+// the given mode. The experiment's Workload is ignored — the replayer
+// generates the IO stream, scaled/clamped to the device's address space,
+// looping over the trace for as long as the fault schedule needs.
+func TraceReplay(tr *TraceWorkload, mode TraceMode) *TraceConfig {
+	return &TraceConfig{Trace: tr, Mode: mode}
 }
 
 // DefaultTxnConfig returns the stock transaction-engine tuning: 4 pages
