@@ -346,3 +346,33 @@ func TestRunContextCompat(t *testing.T) {
 		t.Fatalf("RunContext: rep=%+v err=%v", rep, err)
 	}
 }
+
+// TestCacheCampaignParallelDeterminism: the "cache" figure is
+// byte-deterministic at parallelism 1 vs 8. This pins the crash-recovery
+// path of the write-back cache, whose free-slot reclamation once walked a
+// map and made post-fault slot allocation (and with it whole reports)
+// depend on iteration order.
+func TestCacheCampaignParallelDeterminism(t *testing.T) {
+	items := smallItems(t, "cache", 0.02)
+	run := func(parallelism int) *powerfail.CampaignResult {
+		out, err := powerfail.NewCampaign(items,
+			powerfail.WithParallelism(parallelism),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		return out
+	}
+	seq := run(1)
+	par := run(8)
+	if seq.Completed != len(items) || par.Completed != len(items) {
+		t.Fatalf("completed %d/%d, want %d", seq.Completed, par.Completed, len(items))
+	}
+	seqEnc, parEnc := encodeReports(t, seq), encodeReports(t, par)
+	for i := range seqEnc {
+		if seqEnc[i] != parEnc[i] {
+			t.Fatalf("cache item %d (%s) diverged between parallelism 1 and 8:\n%s\n%s",
+				i, items[i].Label, seqEnc[i], parEnc[i])
+		}
+	}
+}

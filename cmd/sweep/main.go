@@ -18,13 +18,14 @@
 // Ctrl-C cancels the campaign and prints the completed subset.
 //
 // Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation
-// array cache txn trace all; `sweep -list` enumerates them with titles and
-// item counts. -figure is an alias for -set:
+// array cache txn txn-streams trace all; `sweep -list` enumerates them
+// with titles and item counts. -figure is an alias for -set:
 //
 //	sweep -list                             # discover the registered figures
 //	sweep -figure array -parallel 4 -json   # RAID-0/1/5 under correlated faults
 //	sweep -figure cache -scale 0.5          # write-back vs write-through SSD cache
 //	sweep -figure txn -parallel 4           # WAL commits vs barrier policy and topology
+//	sweep -figure txn-streams -parallel 4   # concurrent WAL streams + recovery-policy ablation
 //	sweep -figure trace                     # bundled MSR-style traces through the pipeline
 //
 // -trace replays an arbitrary MSR-style CSV block trace instead of a
@@ -209,8 +210,12 @@ func printFigure(fig string, results []powerfail.CatalogResult) {
 		}
 	}
 	if txnMode {
-		fmt.Printf("| point | faults | committed | intact | lost-commit | torn | out-of-order | unacked | scan pages/fault |\n")
-		fmt.Printf("|---|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		// The last three columns are the recovery-policy ablation: what a
+		// strict first-tear-stops log scan would lose on the same observed
+		// state, and how many of those losses were durable on media but
+		// unreachable behind the tear.
+		fmt.Printf("| point | faults | committed | intact | lost-commit | torn | out-of-order | unacked | scan pages/fault | strict-lost | strict-torn | unreachable |\n")
+		fmt.Printf("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
 		for _, res := range results {
 			if res.Err != nil {
 				fmt.Printf("| %s | ERROR: %v |\n", res.Item.Label, res.Err)
@@ -221,9 +226,11 @@ func printFigure(fig string, results []powerfail.CatalogResult) {
 			if r.Faults > 0 {
 				scanPerFault = float64(s.ScanPages) / float64(r.Faults)
 			}
-			fmt.Printf("| %s | %d | %d | %d | %d | %d | %d | %d | %.0f |\n",
+			strict := r.TxnPolicy(powerfail.StrictScanRecovery)
+			fmt.Printf("| %s | %d | %d | %d | %d | %d | %d | %d | %.0f | %d | %d | %d |\n",
 				res.Item.Label, r.Faults, s.Committed, s.Intact, s.LostCommits,
-				s.Torn, s.OutOfOrder, s.Unacked, scanPerFault)
+				s.Torn, s.OutOfOrder, s.Unacked, scanPerFault,
+				strict.LostCommits+strict.OutOfOrder, strict.Torn, r.TxnUnreachable())
 		}
 		return
 	}

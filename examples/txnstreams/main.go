@@ -1,0 +1,87 @@
+// Txnstreams runs the multi-stream WAL under identical power-fault
+// schedules and contrasts two things the single-stream engine cannot
+// show:
+//
+//   - Commit interleaving: with 8 streams issuing through the same host
+//     queue, commit records from different streams mix on the device, so
+//     a cut strands a different — usually larger — set of acknowledged
+//     transactions than the one-stream pipeline, and out-of-order
+//     durability can span streams.
+//   - The recovery-policy ablation: every report judges the same
+//     observed post-fault state under both a hole-tolerant replay (the
+//     best any recovery could do) and a strict first-tear-stops scan.
+//     The difference is the durable-but-unreachable commits — data the
+//     device kept but a classic sequential log scan abandons.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powerfail"
+)
+
+func run(name string, streams int, opts powerfail.Options) *powerfail.Report {
+	cfg := powerfail.DefaultTxnConfig()
+	cfg.Streams = streams
+	cfg.Barrier = powerfail.NoFlushBarrier
+	opts.App = powerfail.TxnApp(cfg)
+	opts.Concurrency = streams
+	rep, err := powerfail.Run(opts, powerfail.Experiment{
+		Name:             name,
+		Faults:           10,
+		RequestsPerFault: 20,
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if len(rep.TxnPolicies) == 0 {
+		log.Fatalf("%s: no recovery-policy ablation in the report", name)
+	}
+	return rep
+}
+
+func main() {
+	ssdProf := powerfail.ProfileA()
+	ssdProf.CapacityGB = 8
+	raid5 := powerfail.ArrayTopology(powerfail.RAIDConfig(powerfail.RAID5, 3, ssdProf))
+
+	type point struct {
+		name    string
+		streams int
+		opts    powerfail.Options
+	}
+	points := []point{
+		{"1 stream  / SSD", 1, powerfail.Options{Seed: 11, Profile: ssdProf}},
+		{"8 streams / SSD", 8, powerfail.Options{Seed: 11, Profile: ssdProf}},
+		{"1 stream  / RAID-5", 1, powerfail.Options{Seed: 11, Topology: raid5}},
+		{"8 streams / RAID-5", 8, powerfail.Options{Seed: 11, Topology: raid5}},
+	}
+
+	fmt.Println("Multi-stream WAL, no-flush commits, identical fault schedules (10 cuts):")
+	fmt.Printf("%-20s %-10s %-14s %-12s %-13s\n",
+		"configuration", "committed", "ht-losses", "strict-losses", "unreachable")
+	var anyLoss, anyUnreachable int64
+	for _, pt := range points {
+		rep := run(pt.name, pt.streams, pt.opts)
+		ht := rep.TxnPolicy(powerfail.HoleTolerantRecovery)
+		strict := rep.TxnPolicy(powerfail.StrictScanRecovery)
+		if strict.Losses() < ht.Losses() {
+			log.Fatalf("BUG: %s: strict scan lost less (%d) than hole-tolerant (%d)",
+				pt.name, strict.Losses(), ht.Losses())
+		}
+		fmt.Printf("%-20s %-10d %-14d %-12d %-13d\n",
+			pt.name, ht.Committed, ht.Losses(), strict.Losses(), rep.TxnUnreachable())
+		anyLoss += ht.Losses()
+		anyUnreachable += rep.TxnUnreachable()
+	}
+
+	fmt.Println("\nThe strict scan stops at the first torn log slot, so every durable")
+	fmt.Println("record behind a tear is abandoned: its losses can only exceed the")
+	fmt.Println("hole-tolerant replay's, and the gap is commit data the device kept")
+	fmt.Println("but a classic sequential recovery never reaches.")
+	if anyLoss == 0 {
+		log.Fatal("BUG: no-flush commits lost nothing across every topology")
+	}
+	_ = anyUnreachable // may legitimately be 0 on schedules without mid-log tears
+}

@@ -462,6 +462,18 @@ func comparatorTopos() []topoPoint {
 	}
 }
 
+// txnBarrierPoints is the commit-barrier sweep the "txn" and
+// "txn-streams" figures share, so the two figures can never drift apart
+// on barrier sets or labels.
+var txnBarrierPoints = []struct {
+	tag string
+	b   txn.Barrier
+}{
+	{"flush", txn.FlushPerCommit},
+	{"group", txn.GroupCommit},
+	{"noflush", txn.NoFlush},
+}
+
 // TxnItems is the "txn" figure: the transactional WAL application layer
 // under power faults, crossing commit barrier policy (flush-per-commit,
 // group commit, no-flush) with device topology (single SSD, write-through
@@ -470,14 +482,7 @@ func comparatorTopos() []topoPoint {
 // scale 1. The y-axis material is Report.TxnStats: lost commits, torn
 // transactions and out-of-order durability per fault.
 func TxnItems(scale float64) []CatalogItem {
-	barriers := []struct {
-		tag string
-		b   txn.Barrier
-	}{
-		{"flush", txn.FlushPerCommit},
-		{"group", txn.GroupCommit},
-		{"noflush", txn.NoFlush},
-	}
+	barriers := txnBarrierPoints
 	topos := comparatorTopos()
 	timings := []struct {
 		tag string
@@ -508,6 +513,74 @@ func TxnItems(scale float64) []CatalogItem {
 						Name:             "txn-" + bar.tag + "-" + topo.tag + "-" + tm.tag,
 						Faults:           scaled(40, scale),
 						RequestsPerFault: tm.rpf,
+					},
+				})
+				i++
+			}
+		}
+	}
+	return items
+}
+
+// txnStreamTopos is the topology triple the "txn-streams" figure sweeps:
+// the volatile-cache SSD baseline, a RAID-5 array (write holes vs WAL
+// atomicity under correlated faults), and an SSD cache over an HDD in
+// write-back (group commit vs lost dirty lines).
+func txnStreamTopos() []topoPoint {
+	return []topoPoint{
+		{"ssd", func(seed uint64) Options {
+			return Options{Seed: seed, Profile: arrayMember()}
+		}},
+		{"raid5", func(seed uint64) Options {
+			return Options{Seed: seed, Topology: ArrayTopology(RAIDConfig(RAID5, 3, arrayMember()))}
+		}},
+		{"cached-hdd", func(seed uint64) Options {
+			back := DefaultHDD()
+			back.CapacityGB = 64
+			return Options{Seed: seed, Topology: ArrayTopology(CacheConfig(arrayMember(), back, WriteBack))}
+		}},
+	}
+}
+
+// TxnStreamItems is the "txn-streams" figure: the multi-stream WAL under
+// power faults, crossing the stream count (1, 4, 8) with the commit
+// barrier (flush-per-commit, group commit, no-flush) and the device
+// topology (single SSD, RAID-5, write-back SSD-cache-over-HDD); >=30
+// faults per point at scale 1. The closed-loop concurrency tracks the
+// stream count so streams genuinely overlap on the wire and commit
+// records interleave on the device. Every report carries the
+// recovery-policy ablation (Report.TxnPolicies): the y-axis material is
+// the per-policy loss counts, with strict-scan minus hole-tolerant being
+// the durable-but-unreachable commits a first-tear-stops scan abandons.
+// The streams=1 hole-tolerant rows reproduce the PR-3 "txn" engine on
+// identical schedules.
+func TxnStreamItems(scale float64) []CatalogItem {
+	barriers := txnBarrierPoints
+	topos := txnStreamTopos()
+	var items []CatalogItem
+	i := 0
+	for _, n := range []int{1, 4, 8} {
+		for _, bar := range barriers {
+			for _, topo := range topos {
+				cfg := txn.DefaultConfig()
+				cfg.Streams = n
+				cfg.Barrier = bar.b
+				// A batch of 4 lets group commit make progress between
+				// early cuts even on the slower composite topologies.
+				cfg.GroupEvery = 4
+				opts := topo.opts(1700 + uint64(i))
+				opts.App = TxnApp(cfg)
+				opts.Concurrency = n
+				label := fmt.Sprintf("s%d/%s/%s", n, bar.tag, topo.tag)
+				items = append(items, CatalogItem{
+					Figure: "txn-streams",
+					Label:  label,
+					X:      float64(n),
+					Opts:   opts,
+					Spec: Experiment{
+						Name:             fmt.Sprintf("txnstreams-s%d-%s-%s", n, bar.tag, topo.tag),
+						Faults:           scaled(30, scale),
+						RequestsPerFault: 12,
 					},
 				})
 				i++
@@ -630,6 +703,7 @@ var figureRegistry = []figureEntry{
 	{"array", "Arrays — RAID-0/1/5 under correlated power faults", ArrayItems},
 	{"cache", "SSD cache over HDD — write-back vs write-through under faults", CacheItems},
 	{"txn", "Transactions — WAL barrier × topology × cut timing under faults", TxnItems},
+	{"txn-streams", "Multi-stream WAL — streams × barrier × topology, recovery-policy ablation", TxnStreamItems},
 	{"trace", "Trace replay — bundled MSR-style traces × topology × pacing", TraceItems},
 }
 
@@ -666,7 +740,8 @@ func FigureTitle(id string) string {
 
 // ItemsFor returns the catalog slice for a figure id ("fig5".."fig9",
 // "window", "seqrand", "tablei", "ablation", "array", "cache", "txn",
-// "all"). Unknown ids error with the list of registered ids.
+// "txn-streams", "trace", "all"). Unknown ids error with the list of
+// registered ids.
 func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
 	if figure == "all" {
 		return AllItems(scale), nil

@@ -1,6 +1,8 @@
 package array
 
 import (
+	"sort"
+
 	"powerfail/internal/addr"
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
@@ -94,8 +96,16 @@ func (a *Array) dropLine(ln *cline) {
 // cache may drop clean lines but *must* keep the dirty ones — the cache
 // SSD holds the only copy, so whatever that SSD lost is simply gone.
 func (a *Array) recoverCache() {
-	for _, ln := range a.lines {
-		if a.cfg.Policy == WriteThrough || !ln.dirty {
+	// Walk the line map in address order: dropLine returns slots to the
+	// free list, and a map-order walk would make post-recovery slot
+	// allocation — and with it the whole simulation — nondeterministic.
+	lpns := make([]addr.LPN, 0, len(a.lines))
+	for lpn := range a.lines {
+		lpns = append(lpns, lpn)
+	}
+	sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+	for _, lpn := range lpns {
+		if ln := a.lines[lpn]; a.cfg.Policy == WriteThrough || !ln.dirty {
 			a.dropLine(ln)
 			a.stats.LinesDropped++
 		}

@@ -65,10 +65,15 @@ type Report struct {
 	// TxnStats is set when the transactional application layer ran: the
 	// oracle's per-class verdict counts (intact / lost-commit / torn /
 	// out-of-order), the oldest lost commit sequence, and the recovery
-	// scan lengths. TxnPerFault is the same breakdown per fault cycle,
-	// index-aligned with PerFault.
-	TxnStats    *txn.Stats          `json:"txn_stats,omitempty"`
-	TxnPerFault []txn.CycleVerdicts `json:"txn_per_fault,omitempty"`
+	// scan lengths, under the engine's primary recovery policy.
+	// TxnPolicies is the recovery-policy ablation — the same faults
+	// judged under every policy on identical observations, indexed by
+	// txn.RecoveryPolicy (hole-tolerant, strict-scan). TxnPerFault is the
+	// per-fault-cycle breakdown, index-aligned with PerFault, each cycle
+	// carrying all policies' verdicts.
+	TxnStats    *txn.Stats         `json:"txn_stats,omitempty"`
+	TxnPolicies []txn.Stats        `json:"txn_policies,omitempty"`
+	TxnPerFault []txn.CycleOutcome `json:"txn_per_fault,omitempty"`
 
 	// TraceStats is set when a trace replay drove the experiment: rows
 	// replayed, laps over the trace, coverage, and how many addresses had
@@ -110,6 +115,22 @@ func (r *Report) IOErrors() int { return r.Counters.IOErrors }
 // DataLosses returns data failures plus FWAs.
 func (r *Report) DataLosses() int { return r.Counters.DataLosses() }
 
+// TxnPolicy returns the recovery-policy ablation row for p (zero Stats
+// when the transactional layer did not run).
+func (r *Report) TxnPolicy(p txn.RecoveryPolicy) txn.Stats {
+	if int(p) < len(r.TxnPolicies) {
+		return r.TxnPolicies[p]
+	}
+	return txn.Stats{}
+}
+
+// TxnUnreachable returns the durable-but-unreachable commits: losses the
+// strict scan adds over hole-tolerant replay on the same observations
+// (0 when the transactional layer did not run). Never negative.
+func (r *Report) TxnUnreachable() int64 {
+	return r.TxnPolicy(txn.StrictScan).Losses() - r.TxnPolicy(txn.HoleTolerant).Losses()
+}
+
 // String renders a readable multi-line summary.
 func (r *Report) String() string {
 	var b strings.Builder
@@ -141,6 +162,13 @@ func (r *Report) String() string {
 		if s.RecoveryScans > 0 {
 			fmt.Fprintf(&b, "  txn recovery: %d scans, %.0f log pages/scan; %d checkpoints, %d flushes\n",
 				s.RecoveryScans, float64(s.ScanPages)/float64(s.RecoveryScans), s.Checkpoints, s.Flushes)
+		}
+		if len(r.TxnPolicies) > 0 {
+			fmt.Fprintf(&b, "  txn ablation:")
+			for _, ps := range r.TxnPolicies {
+				fmt.Fprintf(&b, " %s=%d-lost/%d-torn/%d-ooo", ps.Policy, ps.LostCommits, ps.Torn, ps.OutOfOrder)
+			}
+			fmt.Fprintf(&b, " (%d durable-but-unreachable)\n", r.TxnUnreachable())
 		}
 	}
 	if r.RequestedIOPS > 0 {

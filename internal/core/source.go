@@ -136,10 +136,11 @@ func (s *workloadSource) Done(SourceIO, error) {}
 
 // txnSource adapts txn.Engine and absorbs its recovery oracle: after each
 // fault the runner reads the engine's scan set back through the adapter
-// and the per-cycle verdicts accumulate for the report.
+// and the per-cycle verdicts — one row per recovery policy — accumulate
+// for the report.
 type txnSource struct {
 	eng      *txn.Engine
-	perFault []txn.CycleVerdicts
+	perFault []txn.CycleOutcome
 }
 
 func (s *txnSource) Kind() string              { return "txn" }
@@ -176,7 +177,11 @@ func (s *txnSource) FinishRecovery() {
 func (s *txnSource) addToReport(rep *Report) {
 	ts := s.eng.Stats()
 	rep.TxnStats = &ts
-	rep.TxnPerFault = append([]txn.CycleVerdicts(nil), s.perFault...)
+	rep.TxnPolicies = make([]txn.Stats, txn.NumRecoveryPolicies)
+	for p := range rep.TxnPolicies {
+		rep.TxnPolicies[p] = s.eng.StatsFor(txn.RecoveryPolicy(p))
+	}
+	rep.TxnPerFault = append([]txn.CycleOutcome(nil), s.perFault...)
 }
 
 // --- trace replayer adapter ---

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"testing"
 
 	"powerfail/internal/txn"
@@ -162,5 +163,114 @@ func TestTxnRejectsOpenLoop(t *testing.T) {
 	spec.Workload = workload.Spec{IOPS: 500}
 	if _, err := NewRunner(p, spec); err == nil {
 		t.Fatal("open-loop spec accepted in txn mode")
+	}
+}
+
+// TestTxnMultiStreamRuns: several WAL streams over the volatile-cache SSD
+// with a pipelined closed loop. Every report carries the full
+// recovery-policy ablation: the primary TxnStats equals the hole-tolerant
+// row, strict-scan never loses less, and the per-fault outcomes sum to
+// the per-policy totals.
+func TestTxnMultiStreamRuns(t *testing.T) {
+	cfg := txn.DefaultConfig()
+	cfg.Streams = 4
+	cfg.Barrier = txn.NoFlush
+	opts := Options{Seed: 78, Profile: memberProfile(), App: AppConfig{Txn: &cfg}, Concurrency: 4}
+	rep := runSmall(t, opts, txnSpec("txn-streams", 6))
+	s := rep.TxnStats
+	if s == nil || s.Committed == 0 || s.Evaluated == 0 {
+		t.Fatalf("multi-stream engine idle: %+v", s)
+	}
+	if len(rep.TxnPolicies) != txn.NumRecoveryPolicies {
+		t.Fatalf("ablation rows = %d, want %d", len(rep.TxnPolicies), txn.NumRecoveryPolicies)
+	}
+	ht, strict := rep.TxnPolicy(txn.HoleTolerant), rep.TxnPolicy(txn.StrictScan)
+	if *s != ht {
+		t.Fatalf("primary stats %+v != hole-tolerant row %+v", *s, ht)
+	}
+	if strict.Losses() < ht.Losses() {
+		t.Fatalf("strict-scan lost %d < hole-tolerant %d", strict.Losses(), ht.Losses())
+	}
+	if rep.TxnUnreachable() < 0 {
+		t.Fatalf("negative unreachable count %d", rep.TxnUnreachable())
+	}
+	if s.LostCommits == 0 {
+		t.Fatalf("no-flush over 4 streams lost nothing: %s", s)
+	}
+	var sumHT, sumStrict int
+	for _, c := range rep.TxnPerFault {
+		sumHT += c.Policies[txn.HoleTolerant].Losses()
+		sumStrict += c.Policies[txn.StrictScan].Losses()
+		if c.Policies[txn.StrictScan].Losses() < c.Policies[txn.HoleTolerant].Losses() {
+			t.Fatalf("cycle ablation inverted: %+v", c)
+		}
+	}
+	if int64(sumHT) != ht.Losses() || int64(sumStrict) != strict.Losses() {
+		t.Fatalf("per-fault losses (%d, %d) do not sum to totals (%d, %d)",
+			sumHT, sumStrict, ht.Losses(), strict.Losses())
+	}
+}
+
+// TestTxnStreamsDefaultEqualsOne: Streams left zero defaults to the
+// single-stream engine — byte-identical reports, so the PR-3 "txn"
+// figure verdicts are reproduced by the multi-stream code on identical
+// schedules.
+func TestTxnStreamsDefaultEqualsOne(t *testing.T) {
+	run := func(streams int) string {
+		cfg := txn.DefaultConfig()
+		cfg.Streams = streams
+		cfg.Barrier = txn.NoFlush
+		opts := Options{Seed: 79, Profile: memberProfile(), App: AppConfig{Txn: &cfg}}
+		rep := runSmall(t, opts, txnSpec("txn-one", 5))
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if a, b := run(0), run(1); a != b {
+		t.Fatalf("defaulted streams diverged from explicit Streams=1:\n%s\n%s", a, b)
+	}
+}
+
+// TestTxnMultiStreamFlushStillLossless: the strict barrier keeps the WAL
+// contract across concurrent streams too — and then even the pessimistic
+// strict scan reports zero losses, because a flush-per-commit log has no
+// acknowledged commit behind an unflushed tear.
+func TestTxnMultiStreamFlushStillLossless(t *testing.T) {
+	cfg := txn.DefaultConfig()
+	cfg.Streams = 8
+	opts := Options{Seed: 81, Profile: memberProfile(), App: AppConfig{Txn: &cfg}, Concurrency: 8}
+	rep := runSmall(t, opts, txnSpec("txn-streams-flush", 5))
+	s := rep.TxnStats
+	if s == nil || s.Evaluated == 0 {
+		t.Fatalf("engine idle: %+v", s)
+	}
+	if s.Losses() != 0 {
+		t.Fatalf("flush-per-commit over 8 streams broke the WAL contract: %s", s)
+	}
+	if strict := rep.TxnPolicy(txn.StrictScan); strict.Losses() != 0 {
+		t.Fatalf("strict scan lost %d transactions under flush-per-commit: %s", strict.Losses(), strict)
+	}
+}
+
+// TestTxnStrictPrimaryPolicy: Options can select strict-scan as the
+// primary policy; TxnStats then mirrors the strict ablation row while
+// the hole-tolerant row stays available.
+func TestTxnStrictPrimaryPolicy(t *testing.T) {
+	cfg := txn.DefaultConfig()
+	cfg.Barrier = txn.NoFlush
+	cfg.Policy = txn.StrictScan
+	opts := Options{Seed: 82, Profile: memberProfile(), App: AppConfig{Txn: &cfg}}
+	rep := runSmall(t, opts, txnSpec("txn-strict", 5))
+	s := rep.TxnStats
+	if s == nil || s.Policy != txn.StrictScan {
+		t.Fatalf("primary policy not honoured: %+v", s)
+	}
+	if *s != rep.TxnPolicy(txn.StrictScan) {
+		t.Fatalf("primary stats do not mirror the strict row")
+	}
+	if ht := rep.TxnPolicy(txn.HoleTolerant); ht.Policy != txn.HoleTolerant || ht.Committed != s.Committed {
+		t.Fatalf("hole-tolerant row lost: %+v", ht)
 	}
 }

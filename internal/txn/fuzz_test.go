@@ -20,15 +20,18 @@ func FuzzDecodeRecord(f *testing.F) {
 	// targeted corruptions of a valid commit record.
 	seeds := [][]byte{
 		EncodeRecord(Record{Type: RecData, Seq: 1, Txn: 2, HomeLPN: 3, Payload: 4, Count: 0}),
+		EncodeRecord(Record{Type: RecData, Seq: 1, Txn: 2, HomeLPN: 3, Payload: 4, Count: 0, Stream: 7}),
 		EncodeRecord(Record{Type: RecCommit, Seq: 9, Txn: 2, Count: 4}),
-		EncodeRecord(Record{Type: RecCheckpoint, Seq: 10, Count: 7}),
+		EncodeRecord(Record{Type: RecCommit, Seq: 9, Txn: 2, Count: 4, Stream: MaxStreams - 1}),
+		EncodeRecord(Record{Type: RecCheckpoint, Seq: 10, Count: 7, Stream: 1}),
+		EncodeRecord(Record{Stream: ^uint32(0)}), // stream ids beyond the engine bound still round-trip
 		EncodeRecord(Record{}),
 		nil,
 		[]byte("PFWL"),
 		make([]byte, RecordSize),
 		make([]byte, RecordSize+13),
 	}
-	commit := EncodeRecord(Record{Type: RecCommit, Seq: 77, Txn: 5, Count: 2})
+	commit := EncodeRecord(Record{Type: RecCommit, Seq: 77, Txn: 5, Count: 2, Stream: 3})
 	for i := 0; i < RecordSize; i += 7 {
 		mut := append([]byte(nil), commit...)
 		mut[i] ^= 0x40

@@ -58,17 +58,22 @@ func (t RecordType) String() string {
 const RecordSize = 56
 
 // recordMagic brands every record; recordVersion gates format evolution.
+// Version 2 turned the reserved bytes at [44:48) into the stream id for
+// the multi-stream WAL; version-1 records are rejected.
 const (
 	recordMagic   = "PFWL"
-	recordVersion = 1
+	recordVersion = 2
 )
 
-// Record is one decoded WAL record. Field use by type:
+// Record is one decoded WAL record. Stream identifies the WAL stream the
+// record belongs to (sequence numbers are only ordered within a stream).
+// Field use by type:
 //
-//   - RecData: Txn, Seq, HomeLPN (redo target), Payload (page content
-//     fingerprint), Count (page index within the transaction).
-//   - RecCommit: Txn, Seq, Count (pages in the transaction).
-//   - RecCheckpoint: Seq, Count (transactions retired by the checkpoint).
+//   - RecData: Stream, Txn, Seq, HomeLPN (redo target), Payload (page
+//     content fingerprint), Count (page index within the transaction).
+//   - RecCommit: Stream, Txn, Seq, Count (pages in the transaction).
+//   - RecCheckpoint: Stream, Seq, Count (transactions retired by the
+//     checkpoint).
 type Record struct {
 	Type    RecordType
 	Seq     uint64
@@ -76,6 +81,7 @@ type Record struct {
 	HomeLPN uint64
 	Payload uint64
 	Count   uint32
+	Stream  uint32
 }
 
 // Decode errors. ErrTruncated and ErrChecksum are what a recovery scan
@@ -107,12 +113,12 @@ func crc64(b []byte) uint64 {
 //	[4]     version
 //	[5]     type
 //	[6:8)   reserved (zero)
-//	[8:16)  sequence number
+//	[8:16)  sequence number (per stream)
 //	[16:24) transaction id
 //	[24:32) home LPN
 //	[32:40) payload fingerprint
 //	[40:44) count
-//	[44:48) reserved (zero)
+//	[44:48) stream id
 //	[48:56) FNV-1a checksum over bytes [0:48)
 func EncodeRecord(r Record) []byte {
 	b := make([]byte, RecordSize)
@@ -124,6 +130,7 @@ func EncodeRecord(r Record) []byte {
 	binary.LittleEndian.PutUint64(b[24:32], r.HomeLPN)
 	binary.LittleEndian.PutUint64(b[32:40], r.Payload)
 	binary.LittleEndian.PutUint32(b[40:44], r.Count)
+	binary.LittleEndian.PutUint32(b[44:48], r.Stream)
 	binary.LittleEndian.PutUint64(b[48:56], crc64(b[:48]))
 	return b
 }
@@ -142,7 +149,7 @@ func DecodeRecord(b []byte) (Record, error) {
 	if b[4] != recordVersion {
 		return Record{}, ErrVersion
 	}
-	if b[6] != 0 || b[7] != 0 || b[44] != 0 || b[45] != 0 || b[46] != 0 || b[47] != 0 {
+	if b[6] != 0 || b[7] != 0 {
 		return Record{}, ErrReserved
 	}
 	if binary.LittleEndian.Uint64(b[48:56]) != crc64(b[:48]) {
@@ -155,6 +162,7 @@ func DecodeRecord(b []byte) (Record, error) {
 		HomeLPN: binary.LittleEndian.Uint64(b[24:32]),
 		Payload: binary.LittleEndian.Uint64(b[32:40]),
 		Count:   binary.LittleEndian.Uint32(b[40:44]),
+		Stream:  binary.LittleEndian.Uint32(b[44:48]),
 	}
 	if r.Type > RecCheckpoint {
 		return Record{}, ErrType

@@ -13,8 +13,9 @@ import (
 func TestRecordRoundTrip(t *testing.T) {
 	recs := []Record{
 		{Type: RecData, Seq: 7, Txn: 3, HomeLPN: 9001, Payload: 0xdeadbeef, Count: 2},
-		{Type: RecCommit, Seq: 8, Txn: 3, Count: 4},
-		{Type: RecCheckpoint, Seq: 9, Count: 17},
+		{Type: RecData, Seq: 7, Txn: 3, HomeLPN: 9001, Payload: 0xdeadbeef, Count: 2, Stream: 5},
+		{Type: RecCommit, Seq: 8, Txn: 3, Count: 4, Stream: 63},
+		{Type: RecCheckpoint, Seq: 9, Count: 17, Stream: 1},
 		{},
 	}
 	for _, r := range recs {
@@ -126,7 +127,7 @@ func (h *harness) runUntilCommitted(n int64) {
 func (h *harness) read(lpn addr.LPN) content.Fingerprint { return h.durable[lpn] }
 
 // recover runs the oracle over the durable tier.
-func (h *harness) recover() CycleVerdicts {
+func (h *harness) recover() CycleOutcome {
 	h.t.Helper()
 	for _, lpn := range h.e.RecoveryReads() {
 		h.e.Observe(lpn, h.read(lpn), nil)
@@ -347,8 +348,8 @@ func TestEngineCheckpointRetires(t *testing.T) {
 	if len(h.e.ledger) != 0 {
 		t.Fatalf("ledger still holds %d transactions after truncation", len(h.e.ledger))
 	}
-	if h.e.cursor > 2 {
-		t.Fatalf("cursor = %d after truncation, want the checkpoint record slot region", h.e.cursor)
+	if cur := h.e.streams[0].cursor; cur > 2 {
+		t.Fatalf("cursor = %d after truncation, want the checkpoint record slot region", cur)
 	}
 	// Everything was durable before truncation, so a cut right here must
 	// evaluate nothing and lose nothing.
@@ -434,6 +435,17 @@ func TestConfigValidation(t *testing.T) {
 		{PagesPerTxn: 4, LogPages: 64, GroupEvery: -2, CheckpointEvery: 1},
 		{PagesPerTxn: 4, LogPages: 64, GroupEvery: 1, CheckpointEvery: -3},
 		{PagesPerTxn: 4, LogPages: 64, GroupEvery: 1, CheckpointEvery: 1, Barrier: Barrier(9)},
+		{PagesPerTxn: 4, LogPages: 64, GroupEvery: 1, CheckpointEvery: 1, Streams: -1},
+		{PagesPerTxn: 4, LogPages: 64, GroupEvery: 1, CheckpointEvery: 1, Streams: MaxStreams + 1},
+		// 8 streams over 64 pages leave 8-slot partitions: too small for a
+		// 63-page transaction plus commit and checkpoint records.
+		{PagesPerTxn: 63, LogPages: 512, GroupEvery: 1, CheckpointEvery: 1, Streams: 8},
+		// Exactly PagesPerTxn+2 slots per partition livelocks in a
+		// checkpoint storm: a fresh generation starts with a checkpoint
+		// record in slot 0, leaving one slot too few for a transaction.
+		{PagesPerTxn: 4, LogPages: 6, GroupEvery: 1, CheckpointEvery: 1},
+		{PagesPerTxn: 4, LogPages: 12, GroupEvery: 1, CheckpointEvery: 1, Streams: 2},
+		{PagesPerTxn: 4, LogPages: 64, GroupEvery: 1, CheckpointEvery: 1, Policy: RecoveryPolicy(7)},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -445,5 +457,326 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := NewEngine(DefaultConfig(), sim.New(), sim.NewRNG(1), 100); err == nil {
 		t.Error("engine accepted a device smaller than its log region")
+	}
+}
+
+// TestMinimalPartitionMakesProgress: the smallest partition Validate
+// accepts (PagesPerTxn+3 slots) keeps committing across generations —
+// one transaction per checkpoint, but never a livelock.
+func TestMinimalPartitionMakesProgress(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: FlushPerCommit, LogPages: 5, GroupEvery: 1, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(6)
+	s := h.e.Stats()
+	if s.Checkpoints < 4 {
+		t.Fatalf("checkpoints = %d after 6 commits in a minimal partition, want one per transaction", s.Checkpoints)
+	}
+}
+
+// --- multi-stream WAL ---
+
+// TestMultiStreamPartitionsAndInterleaving: with several streams each
+// log/commit record lands in its stream's partition, the on-media record
+// carries the stream id, every stream makes progress, and the issue order
+// interleaves streams rather than draining one pipeline at a time.
+func TestMultiStreamPartitionsAndInterleaving(t *testing.T) {
+	cfg := Config{Streams: 4, PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	per := h.e.perStream
+	if per != 16 {
+		t.Fatalf("partition size = %d, want 16", per)
+	}
+	var order []int // partition of each log-region write, in issue order
+	for len(order) < 40 {
+		io := h.step()
+		if io.Kind == IOLog || io.Kind == IOCommit || io.Kind == IOCheckpoint {
+			order = append(order, int(io.LPN)/per)
+		}
+	}
+	seen := map[int]bool{}
+	for _, p := range order {
+		seen[p] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only partitions %v saw traffic, want all 4", seen)
+	}
+	// The first few writes must already interleave streams: a round-robin
+	// engine never issues a whole transaction back to back while other
+	// streams are idle.
+	head := map[int]bool{}
+	for _, p := range order[:4] {
+		head[p] = true
+	}
+	if len(head) < 2 {
+		t.Fatalf("first 4 log writes all on partitions %v — streams do not interleave", head)
+	}
+	// On-media records carry the owning stream id, and sequence spaces
+	// are per stream (every stream starts its own space at 0).
+	for abs, hist := range h.e.slots {
+		rec, err := DecodeRecord(hist[0].bytes)
+		if err != nil {
+			t.Fatalf("slot %d: %v", abs, err)
+		}
+		if got, want := int(rec.Stream), abs/per; got != want {
+			t.Fatalf("slot %d: record stream %d, want partition owner %d", abs, got, want)
+		}
+	}
+	for i, st := range h.e.streams {
+		if st.seq == 0 {
+			t.Fatalf("stream %d issued no records", i)
+		}
+	}
+}
+
+// TestMultiStreamGroupCommitBatchesAcrossStreams: the group-commit batch
+// fills with commits from different streams, so one shared flush
+// acknowledges transactions across stream boundaries.
+func TestMultiStreamGroupCommitBatchesAcrossStreams(t *testing.T) {
+	cfg := Config{Streams: 4, PagesPerTxn: 1, Barrier: GroupCommit, GroupEvery: 4, LogPages: 64, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	for h.e.Stats().Flushes == 0 {
+		io, ok := h.e.Next()
+		if !ok {
+			t.Fatal("engine stalled before the first group flush")
+		}
+		if io.Kind == IOFlush {
+			streams := map[int]bool{}
+			for _, tx := range io.cover {
+				streams[tx.Stream()] = true
+			}
+			if len(io.cover) != 4 || len(streams) < 2 {
+				t.Fatalf("group flush covers %d txns on streams %v, want a 4-txn batch across streams",
+					len(io.cover), streams)
+			}
+		}
+		if io.Kind == IOFlush {
+			for lpn, fp := range h.volatile {
+				h.durable[lpn] = fp
+			}
+			h.volatile = make(map[addr.LPN]content.Fingerprint)
+		} else {
+			h.volatile[io.LPN] = io.Data.Page(0)
+		}
+		h.e.Done(io, nil)
+	}
+	if got := h.e.Stats().Committed; got != 4 {
+		t.Fatalf("committed %d after the first group flush, want 4", got)
+	}
+}
+
+// TestMultiStreamOutOfOrderSpansStreams: only the latest acknowledged
+// transaction survives the cut; every earlier acknowledgement — which
+// with round-robin streams lives on other streams too — becomes an
+// out-of-order loss against that cross-stream witness.
+func TestMultiStreamOutOfOrderSpansStreams(t *testing.T) {
+	cfg := Config{Streams: 2, PagesPerTxn: 1, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(4)
+	var last *Txn
+	for _, tx := range h.e.ledger {
+		if tx.acked && (last == nil || tx.ackIdx > last.ackIdx) {
+			last = tx
+		}
+	}
+	for _, p := range last.pages {
+		h.keep(h.e.logSlotLPN(p.slot))
+	}
+	h.keep(h.e.logSlotLPN(last.commitSlot))
+
+	crossStream := false
+	for _, tx := range h.e.ledger {
+		if tx.acked && tx != last && tx.stream != last.stream {
+			crossStream = true
+		}
+	}
+	if !crossStream {
+		t.Fatal("all acked transactions on one stream — round-robin broken")
+	}
+	v := h.recover()
+	if v.Intact != 1 || v.OutOfOrder != 3 || v.LostCommits != 0 {
+		t.Fatalf("verdicts = %+v, want 1 intact + 3 out-of-order across streams", v.CycleVerdicts)
+	}
+}
+
+// TestMultiStreamCheckpointTruncatesPerStream: partitions fill and
+// truncate independently; no log write ever escapes its partition and
+// retired transactions leave the ledger.
+func TestMultiStreamCheckpointTruncatesPerStream(t *testing.T) {
+	cfg := Config{Streams: 2, PagesPerTxn: 2, Barrier: FlushPerCommit, LogPages: 24, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	for i := 0; i < 4000 && h.e.Stats().Checkpoints < 4; i++ {
+		io := h.step()
+		if io.Kind == IOLog || io.Kind == IOCommit || io.Kind == IOCheckpoint {
+			if int(io.LPN) >= cfg.LogPages {
+				t.Fatalf("log write at LPN %d escaped the %d-page log region", io.LPN, cfg.LogPages)
+			}
+		}
+	}
+	s := h.e.Stats()
+	if s.Checkpoints < 4 {
+		t.Fatalf("checkpoints = %d, want both partitions truncating repeatedly", s.Checkpoints)
+	}
+	if s.Retired == 0 {
+		t.Fatal("checkpoints ran but nothing retired")
+	}
+	for i, st := range h.e.streams {
+		if st.cursor > st.size {
+			t.Fatalf("stream %d cursor %d beyond its %d-slot partition", i, st.cursor, st.size)
+		}
+	}
+}
+
+// --- recovery-policy ablation ---
+
+// TestStrictScanStopsAtFirstTear: the device kept only the LAST
+// transaction's records. Hole-tolerant replay reaches them (1 intact, 2
+// out-of-order); the strict scan hits the torn first slot and stops, so
+// even the durable commit is unreachable — 3 lost commits, and the
+// difference is exactly the durable-but-unreachable count.
+func TestStrictScanStopsAtFirstTear(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 100}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(3)
+
+	last := h.e.ledger[2]
+	for _, p := range last.pages {
+		h.keep(h.e.logSlotLPN(p.slot))
+	}
+	h.keep(h.e.logSlotLPN(last.commitSlot))
+
+	out := h.recover()
+	ht, st := out.Policies[HoleTolerant], out.Policies[StrictScan]
+	if ht.Intact != 1 || ht.OutOfOrder != 2 {
+		t.Fatalf("hole-tolerant = %+v, want 1 intact + 2 out-of-order", ht)
+	}
+	if st.LostCommits != 3 || st.Intact != 0 || st.OutOfOrder != 0 {
+		t.Fatalf("strict-scan = %+v, want 3 lost commits (survivor unreachable past the tear)", st)
+	}
+	if st.ScanPages >= ht.ScanPages {
+		t.Fatalf("strict scan read %d pages, hole-tolerant %d — strict must stop early", st.ScanPages, ht.ScanPages)
+	}
+	if got := out.Unreachable(); got != 1 {
+		t.Fatalf("unreachable = %d, want the 1 durable-but-unreachable commit", got)
+	}
+	// The primary policy defaults to hole-tolerant: headline == ablation row.
+	if out.CycleVerdicts != ht {
+		t.Fatalf("primary verdicts %+v != hole-tolerant %+v", out.CycleVerdicts, ht)
+	}
+}
+
+// TestStrictPolicyAsPrimary: Config.Policy flips which policy the
+// headline stats reflect, without changing the ablation rows.
+func TestStrictPolicyAsPrimary(t *testing.T) {
+	cfg := Config{PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 100, Policy: StrictScan}
+	h := newHarness(t, cfg)
+	h.runUntilCommitted(3)
+	last := h.e.ledger[2]
+	for _, p := range last.pages {
+		h.keep(h.e.logSlotLPN(p.slot))
+	}
+	h.keep(h.e.logSlotLPN(last.commitSlot))
+
+	out := h.recover()
+	if out.CycleVerdicts != out.Policies[StrictScan] {
+		t.Fatalf("primary %+v != strict %+v", out.CycleVerdicts, out.Policies[StrictScan])
+	}
+	s := h.e.Stats()
+	if s.Policy != StrictScan || int(s.LostCommits) != out.Policies[StrictScan].LostCommits {
+		t.Fatalf("Stats() = %s, want the strict-scan fold", s)
+	}
+	alt := h.e.StatsFor(HoleTolerant)
+	if alt.Policy != HoleTolerant || int(alt.Intact) != out.Policies[HoleTolerant].Intact {
+		t.Fatalf("StatsFor(HoleTolerant) = %s", alt)
+	}
+	if alt.Committed != s.Committed || alt.Flushes != s.Flushes {
+		t.Fatal("engine counters diverged between policy views")
+	}
+}
+
+// TestStrictNeverBeatsHoleTolerant: under arbitrary survival patterns the
+// strict scan's durable sets are subsets of the hole-tolerant ones, so it
+// can only lose more. Sweep a range of keep patterns and check the
+// invariant plus the verdict partition under both policies.
+func TestStrictNeverBeatsHoleTolerant(t *testing.T) {
+	for pattern := 0; pattern < 32; pattern++ {
+		cfg := Config{PagesPerTxn: 2, Barrier: NoFlush, LogPages: 64, CheckpointEvery: 100}
+		h := newHarness(t, cfg)
+		h.runUntilCommitted(5)
+		i := 0
+		for _, tx := range h.e.ledger {
+			for _, p := range tx.pages {
+				if (pattern>>(i%5))&1 == 1 {
+					h.keep(h.e.logSlotLPN(p.slot))
+				}
+				i++
+			}
+			if (pattern>>(i%5))&1 == 1 {
+				h.keep(h.e.logSlotLPN(tx.commitSlot))
+			}
+			i++
+		}
+		out := h.recover()
+		ht, st := out.Policies[HoleTolerant], out.Policies[StrictScan]
+		if st.Losses() < ht.Losses() {
+			t.Fatalf("pattern %d: strict losses %d < hole-tolerant %d", pattern, st.Losses(), ht.Losses())
+		}
+		if st.ScanPages > ht.ScanPages {
+			t.Fatalf("pattern %d: strict scanned %d > hole-tolerant %d pages", pattern, st.ScanPages, ht.ScanPages)
+		}
+		for _, v := range []CycleVerdicts{ht, st} {
+			if v.Intact+v.LostCommits+v.Torn+v.OutOfOrder != v.Evaluated {
+				t.Fatalf("pattern %d: verdicts %+v do not partition evaluated", pattern, v)
+			}
+		}
+	}
+}
+
+// TestGroupCommitCoalescesBackToBackBatches: with enough streams, two
+// full group batches can form between consecutive Next calls (all the
+// commit records complete before the runner issues the wanted flush).
+// The second batch must join the pending flush cover, not replace it —
+// otherwise the first batch stays committed-but-unacked forever.
+func TestGroupCommitCoalescesBackToBackBatches(t *testing.T) {
+	cfg := Config{Streams: 4, PagesPerTxn: 1, Barrier: GroupCommit, GroupEvery: 2, LogPages: 64, CheckpointEvery: 1000}
+	h := newHarness(t, cfg)
+	// Batch-synchronous driving: pull every issuable IO first, then
+	// complete them all, so commit completions cluster exactly like a
+	// pipelined closed loop under think-time.
+	for round := 0; round < 12; round++ {
+		var batch []IO
+		for {
+			io, ok := h.e.Next()
+			if !ok {
+				break
+			}
+			batch = append(batch, io)
+		}
+		if len(batch) == 0 {
+			t.Fatalf("round %d: engine stalled", round)
+		}
+		for _, io := range batch {
+			if io.Kind == IOFlush {
+				for lpn, fp := range h.volatile {
+					h.durable[lpn] = fp
+				}
+				h.volatile = make(map[addr.LPN]content.Fingerprint)
+			} else {
+				h.volatile[io.LPN] = io.Data.Page(0)
+			}
+			h.e.Done(io, nil)
+		}
+	}
+	stranded := 0
+	for _, tx := range h.e.ledger {
+		if tx.committed && !tx.acked && !tx.aborted && !h.e.inFlush && !h.e.flushWanted {
+			stranded++
+		}
+	}
+	// At most a partial group may legitimately wait for its barrier.
+	if inQ := len(h.e.waiters); stranded > inQ {
+		t.Fatalf("%d committed transactions stranded un-acked (only %d awaiting a group)", stranded, inQ)
+	}
+	if got := h.e.Stats().Committed; got < 8 {
+		t.Fatalf("committed %d over 12 batch rounds, want the batches to keep acking", got)
 	}
 }

@@ -131,19 +131,26 @@ type (
 	// AppConfig selects an optional application layer above the block
 	// device; the zero value runs the paper's plain IO generator.
 	AppConfig = core.AppConfig
-	// TxnConfig tunes the write-ahead-log transaction engine (pages per
-	// transaction, commit barrier, group size, checkpoint cadence, log
-	// region size).
+	// TxnConfig tunes the write-ahead-log transaction engine (stream
+	// count, pages per transaction, commit barrier, group size,
+	// checkpoint cadence, log region size, primary recovery policy).
 	TxnConfig = txn.Config
 	// TxnBarrier selects the engine's commit durability policy.
 	TxnBarrier = txn.Barrier
+	// TxnRecoveryPolicy selects how a recovery scan treats torn log
+	// slots; the oracle always judges every fault under all policies
+	// (Report.TxnPolicies), the config picks the headline one.
+	TxnRecoveryPolicy = txn.RecoveryPolicy
 	// TxnStats carries the crash-consistency oracle's verdict counts in a
 	// Report (intact / lost-commit / torn / out-of-order, oldest lost
-	// sequence, recovery scan lengths).
+	// sequence, recovery scan lengths) under one recovery policy.
 	TxnStats = txn.Stats
-	// TxnCycleVerdicts is the oracle's per-fault verdict breakdown
-	// (Report.TxnPerFault, index-aligned with Report.PerFault).
+	// TxnCycleVerdicts is one policy's per-fault verdict counts.
 	TxnCycleVerdicts = txn.CycleVerdicts
+	// TxnCycleOutcome is the oracle's per-fault breakdown across every
+	// recovery policy (Report.TxnPerFault, index-aligned with
+	// Report.PerFault).
+	TxnCycleOutcome = txn.CycleOutcome
 
 	// SourceKind selects the runner's IO source (synthetic workload,
 	// transaction engine, or trace replay); the zero value infers it from
@@ -215,11 +222,24 @@ const (
 const (
 	// FlushPerCommit acknowledges a commit only after an OpFlush landed.
 	FlushPerCommit = txn.FlushPerCommit
-	// GroupCommitBarrier flushes once per TxnConfig.GroupEvery commits.
+	// GroupCommitBarrier flushes once per TxnConfig.GroupEvery commits
+	// (the batch fills across WAL streams).
 	GroupCommitBarrier = txn.GroupCommit
 	// NoFlushBarrier acknowledges on the device write ACK — exposing
 	// volatile-cache lies at transaction granularity.
 	NoFlushBarrier = txn.NoFlush
+)
+
+// Recovery-scan policies for the transactional application layer
+// (TxnConfig.Policy selects the primary; Report.TxnPolicies carries the
+// ablation under both).
+const (
+	// HoleTolerantRecovery replays every durable record, holes included:
+	// the best any recovery implementation could do.
+	HoleTolerantRecovery = txn.HoleTolerant
+	// StrictScanRecovery stops each stream's scan at the first torn slot;
+	// durable records behind the tear are unreachable.
+	StrictScanRecovery = txn.StrictScan
 )
 
 // IO source kinds (Experiment.Source; SourceAuto infers from the rest of
@@ -332,9 +352,9 @@ func TraceReplay(tr *TraceWorkload, mode TraceMode) *TraceConfig {
 	return &TraceConfig{Trace: tr, Mode: mode}
 }
 
-// DefaultTxnConfig returns the stock transaction-engine tuning: 4 pages
-// per transaction, flush-per-commit, checkpoint every 32 commits, a
-// 512-page log region.
+// DefaultTxnConfig returns the stock transaction-engine tuning: one WAL
+// stream, 4 pages per transaction, flush-per-commit, checkpoint every 32
+// commits, a 512-page log region, hole-tolerant primary recovery.
 func DefaultTxnConfig() TxnConfig { return txn.DefaultConfig() }
 
 // TxnApp enables the transactional WAL application layer with cfg; assign
