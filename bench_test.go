@@ -216,6 +216,32 @@ func BenchmarkTraceReplay(b *testing.B) {
 	}))
 }
 
+// BenchmarkFleetCampaign times a datacenter-scale fleet run — 100
+// RAID-5-like groups plus spares on a 4×2×2 fault-domain tree with random
+// PSU cuts — and reports simulated kernel events per second, the figure
+// of merit for the fleet simulation layer.
+func BenchmarkFleetCampaign(b *testing.B) {
+	printSeries(b, "fleet", "Fleet: fault-domain tree × spares × cut level")
+	cfg := powerfail.DefaultFleetConfig()
+	cfg.Domains = powerfail.FleetDomains{Racks: 4, EnclosuresPerRack: 2, PSUsPerEnclosure: 2}
+	cfg.Arrays = 100
+	cfg.Spares = 8
+	cfg.Member.Pages = 2048
+	cfg.Faults.Count = 5
+	spec := powerfail.Experiment{Name: "bench-fleet"}
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := powerfail.Run(powerfail.Options{Seed: uint64(i + 1), Fleet: &cfg}, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rep.Fleet.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
 // BenchmarkVerificationPipelining demonstrates the pipelined control
 // reads: a large-RequestsPerFault experiment spends most of its simulated
 // time re-reading packets after each fault, and Opts.Concurrency above 1

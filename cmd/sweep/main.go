@@ -18,7 +18,7 @@
 // Ctrl-C cancels the campaign and prints the completed subset.
 //
 // Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation
-// array cache txn txn-streams trace all; `sweep -list` enumerates them
+// array cache txn txn-streams trace fleet all; `sweep -list` enumerates them
 // with titles and item counts. -figure is an alias for -set:
 //
 //	sweep -list                             # discover the registered figures
@@ -27,6 +27,7 @@
 //	sweep -figure txn -parallel 4           # WAL commits vs barrier policy and topology
 //	sweep -figure txn-streams -parallel 4   # concurrent WAL streams + recovery-policy ablation
 //	sweep -figure trace                     # bundled MSR-style traces through the pipeline
+//	sweep -figure fleet -parallel 4         # fault-domain tree × spares × cut level, nines
 //
 // -trace replays an arbitrary MSR-style CSV block trace instead of a
 // catalog figure, across the same topology × pacing matrix:
@@ -231,6 +232,32 @@ func printFigure(fig string, results []powerfail.CatalogResult) {
 				res.Item.Label, r.Faults, s.Committed, s.Intact, s.LostCommits,
 				s.Torn, s.OutOfOrder, s.Unacked, scanPerFault,
 				strict.LostCommits+strict.OutOfOrder, strict.Torn, r.TxnUnreachable())
+		}
+		return
+	}
+	fleetMode := false
+	for _, res := range results {
+		if res.Err == nil && res.Report != nil && res.Report.Fleet != nil {
+			fleetMode = true
+			break
+		}
+	}
+	if fleetMode {
+		// Availability nines count up+degraded intervals; durability nines
+		// come from bytes lost when a group exceeds its redundancy.
+		fmt.Printf("| point | cuts | declared | transient | spare takes | shortages | rebuilds | rebuild MiB | avail 9s | durab 9s | losses |\n")
+		fmt.Printf("|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, res := range results {
+			if res.Err != nil {
+				fmt.Printf("| %s | ERROR: %v |\n", res.Item.Label, res.Err)
+				continue
+			}
+			s := res.Report.Fleet
+			rebuildMiB := float64(s.RebuildReadBytes+s.RebuildWriteBytes) / (1 << 20)
+			fmt.Printf("| %s | %d | %d | %d | %d | %d | %d/%d | %.1f | %.2f | %.2f | %d |\n",
+				res.Item.Label, s.Cuts, s.DeclaredFailures, s.TransientRecoveries,
+				s.SpareTakes, s.SpareShortages, s.RebuildCompleted, s.RebuildWindows,
+				rebuildMiB, s.AvailabilityNines, s.DurabilityNines, s.LossEvents)
 		}
 		return
 	}

@@ -9,6 +9,7 @@ import (
 
 	"powerfail/internal/array"
 	"powerfail/internal/core"
+	"powerfail/internal/fleet"
 	"powerfail/internal/hdd"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
@@ -439,6 +440,70 @@ func CacheItems(scale float64) []CatalogItem {
 	return items
 }
 
+// fleetDomainPoints are the two tree shapes the "fleet" figure contrasts:
+// a deep 2×2×2 datacenter slice (8 PSU leaves behind intermediate rack and
+// enclosure tiers) and a flat single-rack tree with the same leaf count in
+// one enclosure row, so blast radius differences come from topology alone.
+var fleetDomainPoints = []struct {
+	tag string
+	cfg fleet.DomainConfig
+}{
+	{"deep", fleet.DomainConfig{Racks: 2, EnclosuresPerRack: 2, PSUsPerEnclosure: 2}},
+	{"flat", fleet.DomainConfig{Racks: 1, EnclosuresPerRack: 1, PSUsPerEnclosure: 8}},
+}
+
+// FleetItems is the "fleet" figure: availability and durability of a fleet
+// of RAID-5-like groups on a fault-domain tree, sweeping tree shape (deep
+// 2×2×2 vs flat 1×1×8) × spare count (0, 4) × random cut level (PSU, rack,
+// room); >=6 cuts per point at scale 1. The y-axis material is
+// Report.Fleet: availability and durability nines, rebuild windows and
+// rebuild traffic. On a fixed seed the nines fall monotonically as the cut
+// level climbs the tree.
+func FleetItems(scale float64) []CatalogItem {
+	levels := []struct {
+		tag string
+		l   fleet.Level
+	}{
+		{"psu", fleet.PSU},
+		{"rack", fleet.Rack},
+		{"room", fleet.Room},
+	}
+	var items []CatalogItem
+	i := 0
+	for _, dom := range fleetDomainPoints {
+		for _, spares := range []int{0, 4} {
+			for _, lv := range levels {
+				cfg := fleet.Config{
+					Domains:   dom.cfg,
+					Arrays:    6,
+					GroupSize: 4,
+					Spares:    spares,
+					Member:    fleet.MemberProfile{Pages: 2048},
+					Rebuild:   fleet.RebuildPolicy{Delay: sim.Second},
+					Faults: fleet.FaultPlan{
+						Level:  lv.l,
+						Count:  scaled(6, scale),
+						Outage: 3 * sim.Second,
+					},
+					Duration: 25 * sim.Second,
+				}
+				label := fmt.Sprintf("%s/s%d/%s", dom.tag, spares, lv.tag)
+				items = append(items, CatalogItem{
+					Figure: "fleet",
+					Label:  label,
+					X:      float64(lv.l),
+					Opts:   Options{Seed: 1800 + uint64(i), Fleet: &cfg},
+					Spec: Experiment{
+						Name: fmt.Sprintf("fleet-%s-s%d-%s", dom.tag, spares, lv.tag),
+					},
+				})
+				i++
+			}
+		}
+	}
+	return items
+}
+
 // topoPoint is one device topology a figure sweeps.
 type topoPoint struct {
 	tag  string
@@ -705,6 +770,7 @@ var figureRegistry = []figureEntry{
 	{"txn", "Transactions — WAL barrier × topology × cut timing under faults", TxnItems},
 	{"txn-streams", "Multi-stream WAL — streams × barrier × topology, recovery-policy ablation", TxnStreamItems},
 	{"trace", "Trace replay — bundled MSR-style traces × topology × pacing", TraceItems},
+	{"fleet", "Fleet — fault-domain tree × spares × cut level, availability nines", FleetItems},
 }
 
 // AllItems returns the full catalog at the given scale, in registry order.
@@ -740,7 +806,7 @@ func FigureTitle(id string) string {
 
 // ItemsFor returns the catalog slice for a figure id ("fig5".."fig9",
 // "window", "seqrand", "tablei", "ablation", "array", "cache", "txn",
-// "txn-streams", "trace", "all"). Unknown ids error with the list of
+// "txn-streams", "trace", "fleet", "all"). Unknown ids error with the list of
 // registered ids.
 func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
 	if figure == "all" {

@@ -167,6 +167,11 @@ type Stats struct {
 	Reconstructions int64 `json:"reconstructions,omitempty"`
 	RedirectedReads int64 `json:"redirected_reads,omitempty"`
 	Divergences     int64 `json:"divergences,omitempty"` // mirror writes acknowledged by only a subset
+	// DoubleFailureLosses counts failure attributions made while the
+	// array's redundancy was exceeded (two or more RAID-5 members down at
+	// once): the affected stripes are unrecoverable data loss, not a
+	// single-member event.
+	DoubleFailureLosses int64 `json:"double_failure_losses,omitempty"`
 
 	// Cache counters.
 	CacheHits    int64 `json:"cache_hits,omitempty"`
@@ -470,7 +475,25 @@ func (a *Array) submitFlush(done func(error, content.Data)) {
 // data plus parity members of the touched stripes for RAID-5, and for the
 // Cached level the cache SSD for pages with a resident line (dirty lines
 // live nowhere else) or the backing drive for uncached pages.
+//
+// A RAID-5 range touched while two or more members are down is explicit
+// data loss — every stripe spans every member, so no touched stripe can be
+// reconstructed. The attribution is then the set of down members (the
+// joint casualties), not the single-failure data+parity set, and the loss
+// is counted in Stats.DoubleFailureLosses.
 func (a *Array) Attribute(lpn addr.LPN, pages int) []int {
+	if a.cfg.Level == RAID5 {
+		var down []int
+		for i, u := range a.up {
+			if !u {
+				down = append(down, i)
+			}
+		}
+		if len(down) >= 2 {
+			a.stats.DoubleFailureLosses++
+			return down
+		}
+	}
 	switch a.cfg.Level {
 	case RAID1:
 		out := make([]int, len(a.members))

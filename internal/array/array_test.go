@@ -276,6 +276,50 @@ func TestAttribute(t *testing.T) {
 	}
 }
 
+// TestAttributeDoubleMemberFailure: with two RAID-5 members down at once,
+// redundancy is exceeded and Attribute must return the explicit data-loss
+// set (the down members) instead of falling into the single-failure
+// data+parity path, and count the loss.
+func TestAttributeDoubleMemberFailure(t *testing.T) {
+	r := newRig(t, raidConfig(RAID5, 4))
+
+	// One member down: still the ordinary data+parity attribution, no loss.
+	r.arr.onMemberDown(2)
+	got := r.arr.Attribute(0, 1)
+	if len(got) != 2 {
+		t.Fatalf("single-failure attribution %v, want data+parity", got)
+	}
+	if n := r.arr.Stats().DoubleFailureLosses; n != 0 {
+		t.Fatalf("single failure counted as double: %d", n)
+	}
+
+	// Second member down: every touched stripe is unrecoverable.
+	r.arr.onMemberDown(0)
+	got = r.arr.Attribute(0, 1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("double-failure attribution %v, want the down members [0 2]", got)
+	}
+	if n := r.arr.Stats().DoubleFailureLosses; n != 1 {
+		t.Fatalf("DoubleFailureLosses = %d, want 1", n)
+	}
+
+	// Three down: all three casualties are attributed.
+	r.arr.onMemberDown(3)
+	if got = r.arr.Attribute(0, 1); len(got) != 3 {
+		t.Fatalf("triple-failure attribution %v, want 3 down members", got)
+	}
+
+	// Recovery drops back to the single-failure path.
+	r.arr.onMemberReady(0)
+	r.arr.onMemberReady(3)
+	if got = r.arr.Attribute(0, 1); len(got) != 2 {
+		t.Fatalf("post-recovery attribution %v, want data+parity", got)
+	}
+	if n := r.arr.Stats().DoubleFailureLosses; n != 2 {
+		t.Fatalf("DoubleFailureLosses = %d, want 2", n)
+	}
+}
+
 func cacheConfig(policy CachePolicy) Config {
 	back := hdd.DefaultProfile()
 	back.CapacityGB = 2

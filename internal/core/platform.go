@@ -6,6 +6,7 @@ import (
 	"powerfail/internal/array"
 	"powerfail/internal/blktrace"
 	"powerfail/internal/blockdev"
+	"powerfail/internal/fleet"
 	"powerfail/internal/hdd"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
@@ -79,6 +80,12 @@ type Options struct {
 	// App selects an optional application layer above the block device
 	// (transactional WAL engine + crash-consistency oracle).
 	App AppConfig
+	// Fleet, when non-nil, replaces the single-device platform with a
+	// datacenter fleet: a fault-domain tree of rooms, racks, enclosures and
+	// PSUs with N redundancy groups, standby spares and rebuild state
+	// machines on top. Profile/Topology/App/Workload are ignored; the fleet
+	// generates its own foreground IO and fault plan.
+	Fleet *fleet.Config
 	// Host overrides the block-layer configuration.
 	Host blockdev.Config
 	// PSU overrides the supply's electrical model.
@@ -213,38 +220,54 @@ func NewPlatform(opts Options) (*Platform, error) {
 }
 
 // FaultScheduler is the paper's Scheduler component: it decides fault
-// instants and sends On/Off commands to the microcontroller.
+// instants and sends On/Off commands to the microcontroller. Since the
+// fleet layer arrived it is built over a fault-domain tree and the shared
+// fleet.Schedule bookkeeping: the classic platform is the degenerate
+// one-node tree whose root transitions drive the Arduino, so Cuts/Restores
+// semantics are unchanged while multi-domain scheduling reuses the same
+// accounting instead of duplicating it.
 type FaultScheduler struct {
-	k   *sim.Kernel
-	ard *power.Arduino
-
-	cuts     int
-	restores int
+	tree  *fleet.Tree
+	sched *fleet.Schedule
+	root  int // schedule id of the tree root
 }
 
-// NewFaultScheduler wires a scheduler to the Arduino.
+// NewFaultScheduler wires a scheduler to the Arduino through the degenerate
+// single-PSU tree, the paper's rig.
 func NewFaultScheduler(k *sim.Kernel, ard *power.Arduino) *FaultScheduler {
-	return &FaultScheduler{k: k, ard: ard}
+	return NewFaultSchedulerOverTree(k, ard, fleet.Degenerate("psu"))
 }
+
+// NewFaultSchedulerOverTree wires a scheduler to the Arduino through an
+// arbitrary fault-domain tree: the root's power transitions send the
+// hardware commands, so any single-path tree behaves byte-identically to
+// the classic one-PSU scheduler.
+func NewFaultSchedulerOverTree(_ *sim.Kernel, ard *power.Arduino, tree *fleet.Tree) *FaultScheduler {
+	tree.Root().OnPower(func(on bool) {
+		cmd := power.CmdCut
+		if on {
+			cmd = power.CmdRestore
+		}
+		if err := ard.Send(cmd); err != nil {
+			panic(err)
+		}
+	})
+	s := &FaultScheduler{tree: tree, sched: fleet.NewSchedule()}
+	s.root = s.sched.Add(tree.Root())
+	return s
+}
+
+// Tree returns the fault-domain tree the scheduler targets.
+func (s *FaultScheduler) Tree() *fleet.Tree { return s.tree }
 
 // Cut commands the hardware to drop PS_ON#, starting the PSU discharge.
-func (s *FaultScheduler) Cut() {
-	s.cuts++
-	if err := s.ard.Send(power.CmdCut); err != nil {
-		panic(err)
-	}
-}
+func (s *FaultScheduler) Cut() { s.sched.Cut(s.root) }
 
 // Restore commands the hardware to re-assert PS_ON#.
-func (s *FaultScheduler) Restore() {
-	s.restores++
-	if err := s.ard.Send(power.CmdRestore); err != nil {
-		panic(err)
-	}
-}
+func (s *FaultScheduler) Restore() { s.sched.Restore(s.root) }
 
 // Cuts returns the number of Cut commands sent.
-func (s *FaultScheduler) Cuts() int { return s.cuts }
+func (s *FaultScheduler) Cuts() int { return s.sched.Cuts() }
 
 // Restores returns the number of Restore commands sent.
-func (s *FaultScheduler) Restores() int { return s.restores }
+func (s *FaultScheduler) Restores() int { return s.sched.Restores() }

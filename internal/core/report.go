@@ -6,6 +6,7 @@ import (
 
 	"powerfail/internal/array"
 	"powerfail/internal/blockdev"
+	"powerfail/internal/fleet"
 	"powerfail/internal/hdd"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
@@ -79,6 +80,12 @@ type Report struct {
 	// replayed, laps over the trace, coverage, and how many addresses had
 	// to be scaled/clamped into the device.
 	TraceStats *trace.Stats `json:"trace_stats,omitempty"`
+
+	// Fleet is set when the datacenter fleet layer ran instead of the
+	// single-device platform: per-domain-level cut counts, rebuild windows
+	// and bytes moved, and availability/durability nines from the simulated
+	// up/degraded/down intervals.
+	Fleet *fleet.Stats `json:"fleet_stats,omitempty"`
 }
 
 // MemberReport is one array member's view of the experiment: how much it
@@ -156,6 +163,19 @@ func (r *Report) String() string {
 	if s := r.TraceStats; s != nil {
 		fmt.Fprintf(&b, "  trace:    %d rows, replayed %d (%d laps, %.0f%% coverage, %d scaled/clamped)\n",
 			s.Records, s.Replayed, s.Laps, 100*s.Coverage, s.Clamped)
+	}
+	if s := r.Fleet; s != nil {
+		fmt.Fprintf(&b, "  fleet:    %d arrays x%d (+%d spares), %d members, %d events\n",
+			s.Arrays, s.GroupSize, s.Spares, s.Members, s.Events)
+		fmt.Fprintf(&b, "  domains:  cuts by level %v, %d declared failures, %d transient recoveries\n",
+			s.CutsByLevel, s.DeclaredFailures, s.TransientRecoveries)
+		fmt.Fprintf(&b, "  rebuilds: %d windows (%d completed, max %d concurrent), %s exposed, %.1f MiB read / %.1f MiB written, %d spare takes, %d shortages\n",
+			s.RebuildWindows, s.RebuildCompleted, s.MaxConcurrentRebuilds, s.RebuildTime,
+			float64(s.RebuildReadBytes)/(1<<20), float64(s.RebuildWriteBytes)/(1<<20),
+			s.SpareTakes, s.SpareShortages)
+		fmt.Fprintf(&b, "  nines:    availability %.6f (%.2f nines; up %s, degraded %s, down %s), durability %.9f (%.2f nines, %d loss events, %d bytes lost)\n",
+			s.Availability, s.AvailabilityNines, s.UpTime, s.DegradedTime, s.DownTime,
+			s.Durability, s.DurabilityNines, s.LossEvents, s.BytesLost)
 	}
 	if s := r.TxnStats; s != nil {
 		fmt.Fprintf(&b, "  %s\n", s)

@@ -572,8 +572,12 @@ func (r *Runner) report() *Report {
 }
 
 // RunExperiment is the one-call entry point: build a platform, run the
-// spec under ctx, return the report.
+// spec under ctx, return the report. When Options.Fleet is set the
+// datacenter fleet path runs instead of the single-device platform.
 func RunExperiment(ctx context.Context, opts Options, spec ExperimentSpec) (*Report, error) {
+	if opts.Fleet != nil {
+		return runFleetExperiment(ctx, opts, spec)
+	}
 	p, err := NewPlatform(opts)
 	if err != nil {
 		return nil, err

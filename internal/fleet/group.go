@@ -1,0 +1,429 @@
+package fleet
+
+import (
+	"fmt"
+
+	"powerfail/internal/blockdev"
+	"powerfail/internal/sim"
+)
+
+// SlotState is the rebuild state machine of one redundancy-group member
+// bay, following the sejun000/availability exemplar's SSD states: a slot is
+// healthy, degraded (member dark, grace window running), rebuilding (onto a
+// spare, a resilvered original, or from backup), or failed (declared dead
+// with no rebuild target available).
+type SlotState int
+
+// Slot states.
+const (
+	SlotHealthy SlotState = iota
+	SlotDegraded
+	SlotRebuilding
+	SlotFailed
+)
+
+// String implements fmt.Stringer.
+func (s SlotState) String() string {
+	switch s {
+	case SlotHealthy:
+		return "healthy"
+	case SlotDegraded:
+		return "degraded"
+	case SlotRebuilding:
+		return "rebuilding"
+	case SlotFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("SlotState(%d)", int(s))
+	}
+}
+
+// rebuildMode distinguishes intra-group rebuilds (reconstruct from the
+// surviving members) from inter-group restores (re-seed from an off-fleet
+// backup after redundancy was exceeded).
+type rebuildMode int
+
+const (
+	rebuildIntra rebuildMode = iota
+	rebuildInter
+)
+
+// Slot is one member bay of a group. The bay keeps its identity while the
+// physical drive behind it changes (spare swap-in, original resilvered).
+type Slot struct {
+	g      *Group
+	idx    int
+	member *Member
+
+	state SlotState
+	mode  rebuildMode
+	// rebuilt is the durable prefix (in pages) of the bay's reconstruction;
+	// pages beyond it hold stale or no data while not SlotHealthy.
+	rebuilt int64
+	// window marks an open rebuild window (declared failure not yet fully
+	// reconstructed); it spans spare waits and stalls, matching the
+	// vulnerability interval rather than just the copy time.
+	window      bool
+	windowStart sim.Time
+	stalled     bool
+	grace       *sim.Timer
+	rbGen       uint64 // invalidates in-flight rebuild chunk callbacks
+}
+
+// State returns the bay's current rebuild state.
+func (s *Slot) State() SlotState { return s.state }
+
+// Member returns the drive currently behind the bay.
+func (s *Slot) Member() *Member { return s.member }
+
+// Group is one redundancy group of the fleet: GroupSize member bays in a
+// RAID-5-like m+1 arrangement (any single bay reconstructible from the
+// rest). The group tracks its own up/degraded/down intervals for the
+// availability nines.
+type Group struct {
+	f     *Sim
+	id    int
+	slots []*Slot
+
+	// availability accounting
+	class      groupClass
+	classSince sim.Time
+	upTime     sim.Duration
+	degTime    sim.Duration
+	downTime   sim.Duration
+}
+
+type groupClass int
+
+const (
+	classUp groupClass = iota
+	classDegraded
+	classDown
+)
+
+// Slots returns the group's member bays.
+func (g *Group) Slots() []*Slot { return g.slots }
+
+func newGroup(f *Sim, id int, members []*Member) *Group {
+	g := &Group{f: f, id: id}
+	for i, m := range members {
+		s := &Slot{g: g, idx: i, member: m, state: SlotHealthy, rebuilt: m.prof.Pages}
+		g.slots = append(g.slots, s)
+		f.assign[m] = s
+	}
+	return g
+}
+
+// unavailable counts bays whose data cannot currently be read directly.
+func (g *Group) unavailable() int {
+	n := 0
+	for _, s := range g.slots {
+		if s.state != SlotHealthy {
+			n++
+		}
+	}
+	return n
+}
+
+// recount reclassifies the group after a slot transition, closing the
+// previous up/degraded/down interval. Redundancy is one bay: with two or
+// more bays unavailable the group cannot serve reads.
+func (g *Group) recount() {
+	var c groupClass
+	switch u := g.unavailable(); {
+	case u == 0:
+		c = classUp
+	case u <= 1:
+		c = classDegraded
+	default:
+		c = classDown
+	}
+	if c == g.class {
+		return
+	}
+	g.accumulate()
+	g.class = c
+}
+
+// accumulate charges the elapsed interval to the current class.
+func (g *Group) accumulate() {
+	now := g.f.k.Now()
+	d := now.Sub(g.classSince)
+	switch g.class {
+	case classUp:
+		g.upTime += d
+	case classDegraded:
+		g.degTime += d
+	default:
+		g.downTime += d
+	}
+	g.classSince = now
+}
+
+// memberDown handles the bay's drive losing power.
+func (s *Slot) memberDown() {
+	switch s.state {
+	case SlotHealthy:
+		s.state = SlotDegraded
+		s.g.recount()
+		s.grace = s.g.f.k.After(s.g.f.cfg.Rebuild.Delay, func() { s.declare() })
+	case SlotRebuilding:
+		// The rebuild target went dark mid-copy; the chunk loop errors out
+		// and the controller restarts it once the drive answers again.
+		s.stall()
+	}
+}
+
+// memberReady handles the bay's drive answering the host again.
+func (s *Slot) memberReady() {
+	switch s.state {
+	case SlotDegraded:
+		// Transient outage: power returned inside the grace window, the
+		// bay's data is intact (drives are non-volatile across cuts).
+		if s.grace != nil {
+			s.grace.Stop()
+			s.grace = nil
+		}
+		s.state = SlotHealthy
+		s.g.recount()
+		s.g.f.stats.TransientRecoveries++
+	case SlotFailed:
+		// No spare ever arrived and the original came back: resilver it.
+		// Its pre-cut contents are stale relative to writes served degraded,
+		// so it re-enters through a full rebuild.
+		s.startRebuild()
+	case SlotRebuilding:
+		if s.stalled {
+			s.startRebuild()
+		}
+	}
+}
+
+// declare fires when the grace window expires with the drive still dark:
+// the member is declared failed and rebuild planning starts.
+func (s *Slot) declare() {
+	if s.state != SlotDegraded {
+		return
+	}
+	s.grace = nil
+	f := s.g.f
+	f.stats.DeclaredFailures++
+	s.rebuilt = 0
+	s.openWindow()
+
+	// Count bays with declared (not merely transient) invalid data. If this
+	// declaration exceeds the group's single-bay redundancy, the un-rebuilt
+	// data is gone: charge a loss event and fall back to the backup tier.
+	declared := 0
+	for _, o := range s.g.slots {
+		if o.state == SlotRebuilding || o.state == SlotFailed {
+			declared++
+		}
+	}
+	if declared >= 1 { // this bay is the second declared casualty
+		f.stats.LossEvents++
+		f.stats.BytesLost += s.member.prof.Pages * 4096
+		s.mode = rebuildInter
+		// Peers still mid-intra-rebuild can no longer reconstruct either:
+		// their un-rebuilt remainder is lost too, and they must restore
+		// from backup from here on.
+		for _, o := range s.g.slots {
+			if o.state == SlotRebuilding && o.mode == rebuildIntra {
+				f.stats.BytesLost += (o.member.prof.Pages - o.rebuilt) * 4096
+				o.mode = rebuildInter
+				o.rbGen++
+				o.stalled = true
+			}
+		}
+	} else {
+		s.mode = rebuildIntra
+	}
+
+	old := s.member
+	if spare := f.takeSpare(); spare != nil {
+		f.retireToSpares(old)
+		s.member = spare
+		f.assign[spare] = s
+		f.stats.SpareTakes++
+		s.startRebuild()
+	} else {
+		f.stats.SpareShortages++
+		s.state = SlotFailed
+		s.g.recount()
+	}
+}
+
+// openWindow starts the bay's rebuild-vulnerability window.
+func (s *Slot) openWindow() {
+	if s.window {
+		return
+	}
+	s.window = true
+	s.windowStart = s.g.f.k.Now()
+	f := s.g.f
+	f.activeRebuilds++
+	if f.activeRebuilds > f.stats.MaxConcurrentRebuilds {
+		f.stats.MaxConcurrentRebuilds = f.activeRebuilds
+	}
+	f.stats.RebuildWindows++
+}
+
+// closeWindow ends the window after a completed reconstruction.
+func (s *Slot) closeWindow() {
+	if !s.window {
+		return
+	}
+	s.window = false
+	f := s.g.f
+	f.activeRebuilds--
+	f.stats.RebuildTime += f.k.Now().Sub(s.windowStart)
+	f.stats.RebuildCompleted++
+}
+
+// stall pauses the chunk loop; the periodic controller retries it.
+func (s *Slot) stall() {
+	s.stalled = true
+	s.rbGen++
+}
+
+// startRebuild (re)enters the chunk loop onto the bay's current member.
+func (s *Slot) startRebuild() {
+	if !s.member.Ready() {
+		s.stall()
+		if s.state != SlotRebuilding && s.state != SlotFailed {
+			s.state = SlotFailed
+			s.g.recount()
+		}
+		return
+	}
+	if s.state != SlotRebuilding {
+		s.state = SlotRebuilding
+		s.g.recount()
+	}
+	s.openWindow()
+	s.stalled = false
+	s.rbGen++
+	s.step(s.rbGen)
+}
+
+// step copies the next chunk. Intra-group mode reads the chunk from every
+// surviving bay (RAID-5 reconstruction) and writes the rebuilt chunk to the
+// target; inter-group mode writes chunks seeded from the backup tier, paced
+// by the backup link bandwidth. All member IO goes through each drive's
+// ordinary block layer, so rebuilds contend with foreground traffic.
+func (s *Slot) step(gen uint64) {
+	if gen != s.rbGen || s.stalled {
+		return
+	}
+	f := s.g.f
+	pages := s.member.prof.Pages
+	if s.rebuilt >= pages {
+		s.finishRebuild()
+		return
+	}
+	chunk := int64(f.cfg.Rebuild.ChunkPages)
+	if rem := pages - s.rebuilt; chunk > rem {
+		chunk = rem
+	}
+	lpn := s.rebuilt
+
+	if s.mode == rebuildInter {
+		// One chunk from backup: pace the fetch, then write it out.
+		pause := sim.Duration(float64(chunk*4096) / float64(f.cfg.Rebuild.BackupBandwidth) * float64(sim.Second))
+		f.k.After(pause, func() {
+			if gen != s.rbGen || s.stalled {
+				return
+			}
+			s.member.submitIO(blockdev.OpWrite, lpnOf(lpn), int(chunk), true, func(err error) {
+				if gen != s.rbGen || s.stalled {
+					return
+				}
+				if err != nil {
+					s.stall()
+					return
+				}
+				s.rebuilt += chunk
+				s.step(gen)
+			})
+		})
+		return
+	}
+
+	// Intra-group: every other bay must be readable to reconstruct.
+	var survivors []*Member
+	for _, o := range s.g.slots {
+		if o == s {
+			continue
+		}
+		if o.state != SlotHealthy || !o.member.Ready() {
+			s.stall()
+			return
+		}
+		survivors = append(survivors, o.member)
+	}
+	remaining := len(survivors)
+	failed := false
+	for _, m := range survivors {
+		m.submitIO(blockdev.OpRead, lpnOf(lpn), int(chunk), true, func(err error) {
+			if err != nil {
+				failed = true
+			}
+			remaining--
+			if remaining > 0 {
+				return
+			}
+			if gen != s.rbGen || s.stalled {
+				return
+			}
+			if failed {
+				s.stall()
+				return
+			}
+			s.member.submitIO(blockdev.OpWrite, lpnOf(lpn), int(chunk), true, func(err error) {
+				if gen != s.rbGen || s.stalled {
+					return
+				}
+				if err != nil {
+					s.stall()
+					return
+				}
+				s.rebuilt += chunk
+				s.step(gen)
+			})
+		})
+	}
+}
+
+// finishRebuild returns the bay to service.
+func (s *Slot) finishRebuild() {
+	s.state = SlotHealthy
+	s.mode = rebuildIntra
+	s.g.recount()
+	s.closeWindow()
+}
+
+// controllerTick is the fleet controller's periodic pass over the bay:
+// retry spare allocation for failed bays and restart stalled rebuilds.
+func (s *Slot) controllerTick() {
+	f := s.g.f
+	switch s.state {
+	case SlotFailed:
+		if s.member.Ready() {
+			// Original answered again between ticks; resilver in place.
+			s.startRebuild()
+			return
+		}
+		if spare := f.takeSpare(); spare != nil {
+			old := s.member
+			f.retireToSpares(old)
+			s.member = spare
+			f.assign[spare] = s
+			f.stats.SpareTakes++
+			s.startRebuild()
+		}
+	case SlotRebuilding:
+		if s.stalled && s.member.Ready() {
+			s.startRebuild()
+		}
+	}
+}

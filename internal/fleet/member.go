@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/blockdev"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+)
+
+// ErrMemberDown is surfaced by a member drive that has no power or is
+// still spinning up after a restore.
+var ErrMemberDown = errors.New("fleet: member drive down")
+
+// MemberProfile is the lightweight service model of a fleet drive: a
+// single-server queue with a fixed per-IO overhead and a page-transfer
+// time. The detailed FTL/DRAM models of the single-device platform are too
+// heavy at hundreds of arrays; what the fleet layer needs from a member is
+// that rebuild and foreground IO genuinely contend for its bandwidth.
+type MemberProfile struct {
+	// Pages is the drive capacity in 4 KiB pages (default 4096 = 16 MiB,
+	// small so rebuild windows stay observable in short experiments).
+	Pages int64 `json:"pages"`
+	// IOLatency is the fixed per-request overhead (default 150 µs).
+	IOLatency sim.Duration `json:"io_latency_ns"`
+	// PageTime is the transfer time per 4 KiB page (default 8 µs,
+	// ~500 MB/s sequential).
+	PageTime sim.Duration `json:"page_time_ns"`
+	// ReadyDelay is the spin-up time after power returns (default 1.5 s).
+	ReadyDelay sim.Duration `json:"ready_delay_ns"`
+}
+
+func (p MemberProfile) withDefaults() MemberProfile {
+	if p.Pages == 0 {
+		p.Pages = 4096
+	}
+	if p.IOLatency == 0 {
+		p.IOLatency = 150 * sim.Microsecond
+	}
+	if p.PageTime == 0 {
+		p.PageTime = 8 * sim.Microsecond
+	}
+	if p.ReadyDelay == 0 {
+		p.ReadyDelay = 1500 * sim.Millisecond
+	}
+	return p
+}
+
+// Validate checks the profile.
+func (p MemberProfile) Validate() error {
+	if p.Pages < 0 || p.IOLatency < 0 || p.PageTime < 0 || p.ReadyDelay < 0 {
+		return fmt.Errorf("fleet: member profile values must be non-negative: %+v", p)
+	}
+	return nil
+}
+
+// MemberIOStats counts one member drive's served traffic in pages, split
+// by origin so rebuild bytes are visible next to foreground bytes.
+type MemberIOStats struct {
+	ForegroundReadPages  int64 `json:"fg_read_pages"`
+	ForegroundWritePages int64 `json:"fg_write_pages"`
+	RebuildReadPages     int64 `json:"rebuild_read_pages"`
+	RebuildWritePages    int64 `json:"rebuild_write_pages"`
+	Errors               int64 `json:"errors"`
+}
+
+// Member is one drive bay of the fleet: a lightweight drive implementing
+// blockdev.Drive, powered by a PSU leaf of the fault-domain tree and
+// fronted by its own ordinary blockdev.Queue. Both foreground requests and
+// rebuild traffic go through that queue, which is what makes rebuilds
+// steal real member bandwidth.
+type Member struct {
+	k    *sim.Kernel
+	prof MemberProfile
+	id   int
+	psu  *Node
+
+	powered  bool
+	ready    bool
+	nextFree sim.Time
+	gen      uint64 // bumped on power loss so stale completions error out
+
+	queue *blockdev.Queue
+	stats MemberIOStats
+
+	readyFns []func()
+	downFns  []func()
+}
+
+// newMember builds a drive on the given PSU leaf and wires its power
+// transitions.
+func newMember(k *sim.Kernel, prof MemberProfile, id int, psu *Node, host blockdev.Config) (*Member, error) {
+	m := &Member{k: k, prof: prof, id: id, psu: psu, powered: psu.Powered(), ready: psu.Powered()}
+	q, err := blockdev.New(k, m, nil, host)
+	if err != nil {
+		return nil, err
+	}
+	m.queue = q
+	psu.OnPower(m.onPower)
+	return m, nil
+}
+
+// Name implements blockdev.Drive.
+func (m *Member) Name() string { return fmt.Sprintf("m%d@%s", m.id, m.psu.Name()) }
+
+// UserPages implements blockdev.Drive.
+func (m *Member) UserPages() int64 { return m.prof.Pages }
+
+// Ready implements blockdev.Drive.
+func (m *Member) Ready() bool { return m.ready }
+
+// NotifyReady implements blockdev.Drive.
+func (m *Member) NotifyReady(fn func()) { m.readyFns = append(m.readyFns, fn) }
+
+// NotifyDown implements blockdev.Drive.
+func (m *Member) NotifyDown(fn func()) { m.downFns = append(m.downFns, fn) }
+
+// PSU returns the fault-domain leaf powering the drive.
+func (m *Member) PSU() *Node { return m.psu }
+
+// Queue returns the member's host block layer; all fleet IO to this drive
+// is submitted here.
+func (m *Member) Queue() *blockdev.Queue { return m.queue }
+
+// Stats returns a snapshot of the served-IO counters.
+func (m *Member) Stats() MemberIOStats { return m.stats }
+
+func (m *Member) onPower(on bool) {
+	if on {
+		m.powered = true
+		gen := m.gen
+		m.k.After(m.prof.ReadyDelay, func() {
+			if !m.powered || m.gen != gen {
+				return // another outage intervened during spin-up
+			}
+			m.ready = true
+			m.nextFree = m.k.Now()
+			for _, fn := range m.readyFns {
+				fn()
+			}
+		})
+		return
+	}
+	m.powered = false
+	wasReady := m.ready
+	m.ready = false
+	m.gen++ // in-flight service completions observe the stale generation
+	if wasReady {
+		for _, fn := range m.downFns {
+			fn()
+		}
+	}
+}
+
+// Submit implements blockdev.Device: a single-server queue in which each
+// request occupies the drive for IOLatency + pages·PageTime after the
+// previous request finishes. Requests caught by a power cut complete with
+// ErrMemberDown at their scheduled instant, like a died-mid-flight drive.
+func (m *Member) Submit(op blockdev.Op, lpn addr.LPN, pages int, data content.Data, done func(err error, result content.Data)) {
+	if !m.ready {
+		m.k.After(100*sim.Microsecond, func() { done(ErrMemberDown, content.Data{}) })
+		return
+	}
+	if op != blockdev.OpFlush && (lpn < 0 || int64(lpn)+int64(pages) > m.prof.Pages) {
+		m.k.After(100*sim.Microsecond, func() { done(fmt.Errorf("fleet: member address out of range"), content.Data{}) })
+		return
+	}
+	start := m.k.Now()
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	finish := start.Add(m.prof.IOLatency + sim.Duration(pages)*m.prof.PageTime)
+	m.nextFree = finish
+	gen := m.gen
+	m.k.At(finish, func() {
+		if m.gen != gen || !m.ready {
+			done(ErrMemberDown, content.Data{})
+			return
+		}
+		if op == blockdev.OpRead {
+			done(nil, content.Zeroes(pages))
+			return
+		}
+		done(nil, content.Data{})
+	})
+}
+
+// submitIO routes one fleet request (foreground or rebuild) through the
+// member's block layer, keeping the origin-split counters; done fires with
+// the request's final error.
+func (m *Member) submitIO(op blockdev.Op, lpn addr.LPN, pages int, rebuild bool, done func(error)) {
+	var payload content.Data
+	if op == blockdev.OpWrite {
+		payload = content.Zeroes(pages)
+	}
+	req := &blockdev.Request{
+		Op:    op,
+		LPN:   lpn,
+		Pages: pages,
+		Data:  payload,
+		Done: func(req *blockdev.Request) {
+			if req.Err != nil {
+				m.stats.Errors++
+			} else {
+				switch {
+				case op == blockdev.OpRead && rebuild:
+					m.stats.RebuildReadPages += int64(pages)
+				case op == blockdev.OpRead:
+					m.stats.ForegroundReadPages += int64(pages)
+				case rebuild:
+					m.stats.RebuildWritePages += int64(pages)
+				default:
+					m.stats.ForegroundWritePages += int64(pages)
+				}
+			}
+			done(req.Err)
+		},
+	}
+	m.queue.Submit(req)
+}

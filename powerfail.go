@@ -50,10 +50,21 @@
 // packets, blktrace/btt-based analyzer, and the data-failure / FWA /
 // IO-error taxonomy) is implemented as published.
 //
+// Above the single-rig platform sits the fleet layer (Options.Fleet): a
+// fault-domain tree of rooms, racks, enclosures and PSUs carrying hundreds
+// of redundancy groups with standby spares and per-member rebuild state
+// machines, where a cut targets any tree node and propagates to every
+// drive beneath it. Rebuild traffic flows through each member's ordinary
+// block layer, and reports gain availability/durability "nines" computed
+// from the simulated up/degraded/down intervals. The classic single-PSU
+// platform is the degenerate one-node tree, byte-identical by
+// construction.
+//
 // The Experiments catalog reproduces every figure of the paper's
-// evaluation, plus the "array" and "cache" figures over the composite
-// topologies; cmd/sweep drives it from the command line (-parallel fans
-// out, -json emits the machine-readable CampaignResult).
+// evaluation, plus the "array", "cache" and "fleet" figures over the
+// composite and fleet topologies; cmd/sweep drives it from the command
+// line (-parallel fans out, -json emits the machine-readable
+// CampaignResult).
 package powerfail
 
 import (
@@ -64,6 +75,7 @@ import (
 	"powerfail/internal/blockdev"
 	"powerfail/internal/core"
 	"powerfail/internal/flash"
+	"powerfail/internal/fleet"
 	"powerfail/internal/hdd"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
@@ -169,6 +181,33 @@ type (
 	// coverage, scaled/clamped addresses).
 	TraceStats = trace.Stats
 
+	// FleetConfig describes a datacenter-scale fleet experiment: the
+	// fault-domain tree (room → rack → enclosure → PSU), the population of
+	// redundancy groups with standby spares, the rebuild policy, the fault
+	// plan over the tree and the foreground workload. Assign a pointer to
+	// Options.Fleet to run the fleet path instead of the single-device
+	// platform.
+	FleetConfig = fleet.Config
+	// FleetDomains sizes the fault-domain tree.
+	FleetDomains = fleet.DomainConfig
+	// FleetLevel is a fault-domain tier (room, rack, enclosure, PSU).
+	FleetLevel = fleet.Level
+	// FleetCutEvent is one scripted fault against a tree node.
+	FleetCutEvent = fleet.CutEvent
+	// FleetFaultPlan selects scripted or random cut targeting over the tree.
+	FleetFaultPlan = fleet.FaultPlan
+	// FleetRebuildPolicy tunes grace windows, rebuild chunking, backup
+	// bandwidth and the controller cadence.
+	FleetRebuildPolicy = fleet.RebuildPolicy
+	// FleetWorkload shapes the per-group foreground traffic.
+	FleetWorkload = fleet.WorkloadConfig
+	// FleetMemberProfile is the lightweight member-drive service model.
+	FleetMemberProfile = fleet.MemberProfile
+	// FleetStats carries the fleet outcome in a Report: per-level cut
+	// counts, rebuild windows and bytes moved, and availability/durability
+	// nines from the simulated up/degraded/down intervals.
+	FleetStats = fleet.Stats
+
 	// Duration and Time are simulated-clock units.
 	Duration = sim.Duration
 	Time     = sim.Time
@@ -257,6 +296,14 @@ const (
 	TraceClosedLoop = trace.ClosedLoop
 	// TraceOpenLoop replays with the original inter-arrival times.
 	TraceOpenLoop = trace.OpenLoop
+)
+
+// Fault-domain tiers, widest blast radius first.
+const (
+	FleetRoom      = fleet.Room
+	FleetRack      = fleet.Rack
+	FleetEnclosure = fleet.Enclosure
+	FleetPSU       = fleet.PSU
 )
 
 // Simulated time units.
@@ -363,3 +410,12 @@ func DefaultTxnConfig() TxnConfig { return txn.DefaultConfig() }
 // oracle classifies each acknowledged transaction into the Report's
 // TxnStats.
 func TxnApp(cfg TxnConfig) AppConfig { return AppConfig{Txn: &cfg} }
+
+// DefaultFleetConfig returns the stock fleet: 8 RAID-5 groups of 4 with 2
+// standby spares on a 2-rack × 2-enclosure × 2-PSU fault-domain tree,
+// 3 random PSU-level cuts over 30 simulated seconds.
+func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
+
+// FleetNines converts an availability or durability fraction into "nines"
+// (0.999 → 3), capped at 12 for a run with no observed unavailability.
+func FleetNines(x float64) float64 { return fleet.Nines(x) }

@@ -43,7 +43,7 @@ func TestProfiles(t *testing.T) {
 // catalogFigures is every figure id ItemsFor accepts besides "all".
 var catalogFigures = []string{
 	"tablei", "window", "fig5", "fig6", "seqrand", "fig7", "fig8", "fig9",
-	"ablation", "array", "cache", "txn", "txn-streams", "trace",
+	"ablation", "array", "cache", "txn", "txn-streams", "trace", "fleet",
 }
 
 func TestCatalogCoverage(t *testing.T) {
@@ -57,7 +57,13 @@ func TestCatalogCoverage(t *testing.T) {
 			t.Fatalf("%s: empty series", fig)
 		}
 		for _, it := range items {
-			if it.Opts.App.Enabled() {
+			if it.Opts.Fleet != nil {
+				// Fleet items carry no workload or fault-cycle spec; the
+				// whole experiment lives in the fleet configuration.
+				if err := it.Opts.Fleet.WithDefaults().Validate(); err != nil {
+					t.Fatalf("%s/%s: %v", fig, it.Label, err)
+				}
+			} else if it.Opts.App.Enabled() {
 				// Application-layer items carry no workload; the spec is
 				// validated by NewRunner against the app configuration.
 				if it.Spec.Faults <= 0 || it.Spec.RequestsPerFault <= 0 {
