@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"powerfail/internal/core"
+	"powerfail/internal/obs"
 	"powerfail/internal/sim"
 )
 
@@ -150,6 +151,12 @@ type FigureSummary struct {
 	LossPerFault Stat `json:"loss_per_fault"`
 
 	SimTime sim.Duration `json:"sim_ns"`
+
+	// Obs merges the per-item observability summaries of the figure's
+	// completed experiments (counters add, histograms merge bucket-exact).
+	// It is nil unless items ran with Options.Obs enabled, keeping default
+	// campaign JSON byte-identical to pre-observability output.
+	Obs *obs.Summary `json:"obs,omitempty"`
 }
 
 // CampaignResult is the outcome of Campaign.Run: every item's result in
@@ -172,6 +179,13 @@ type CampaignResult struct {
 	// of completed experiments (the speed-up ratio of the platform).
 	WallTime time.Duration `json:"wall_ns"`
 	SimTime  sim.Duration  `json:"sim_ns"`
+
+	// Events sums the simulator events processed by completed experiments;
+	// EventsPerSec divides them by WallTime. Both are process telemetry
+	// (live progress, benchmarking) and excluded from JSON so campaign
+	// outputs stay machine-independent.
+	Events       uint64  `json:"-"`
+	EventsPerSec float64 `json:"-"`
 }
 
 // Run executes the campaign under ctx and returns when every item has
@@ -214,7 +228,9 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 				if err := runCtx.Err(); err != nil {
 					res.Err = err
 				} else {
+					t0 := time.Now()
 					res.Report, res.Err = core.RunExperiment(runCtx, it.Opts, it.Spec)
+					res.Wall = time.Since(t0)
 				}
 				resCh <- indexed{idx, res}
 			}
@@ -251,6 +267,9 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 
 	out.WallTime = time.Since(start)
 	c.aggregate(out)
+	if out.WallTime > 0 {
+		out.EventsPerSec = float64(out.Events) / out.WallTime.Seconds()
+	}
 	switch {
 	case ctx.Err() != nil:
 		return out, ctx.Err()
@@ -269,6 +288,7 @@ func isCancellation(err error) bool {
 func (c *Campaign) aggregate(out *CampaignResult) {
 	byFigure := map[string]*FigureSummary{}
 	samples := map[string][]float64{}
+	obsParts := map[string][]*obs.Summary{}
 	var order []string
 	for _, res := range out.Results {
 		fig := res.Item.Figure
@@ -290,7 +310,9 @@ func (c *Campaign) aggregate(out *CampaignResult) {
 			s.IOErrors += rep.Counters.IOErrors
 			s.SimTime += rep.SimDuration
 			out.SimTime += rep.SimDuration
+			out.Events += rep.Events
 			samples[fig] = append(samples[fig], rep.DataLossPerFault)
+			obsParts[fig] = append(obsParts[fig], rep.Obs)
 		case isCancellation(res.Err):
 			out.Cancelled++
 		default:
@@ -300,6 +322,7 @@ func (c *Campaign) aggregate(out *CampaignResult) {
 	for _, fig := range order {
 		s := byFigure[fig]
 		s.LossPerFault = newStat(samples[fig])
+		s.Obs = obs.MergeSummaries(obsParts[fig])
 		out.Figures = append(out.Figures, *s)
 	}
 }

@@ -3,15 +3,24 @@
 // analyzer is built on. It can also generate a demonstration trace by
 // running a short workload against a simulated drive.
 //
+// Event logs use the unified powerfail-events v2 format (integer-ns
+// timestamps, block and structured observability events interleaved on
+// one clock; see internal/obs). Legacy headerless float-seconds logs are
+// rejected with a hint; re-parse them with -legacy.
+//
 // Usage:
 //
 //	blkreport -demo                 # run a workload, print per-IO dump
-//	blkreport -demo -events         # print the raw event log instead
-//	blkreport < events.log          # summarize a saved event log
+//	blkreport -demo -events         # print the unified event log instead
+//	blkreport < events.log          # summarize a saved unified event log
+//	blkreport -timeline < events.log  # readable timeline of obs events
+//	blkreport -legacy < old.log     # summarize a pre-v2 float-seconds log
 //	blkreport -per-io < dump.txt    # summarize a saved per-IO dump
+//	blkreport -validate-chrome f.json # check a Chrome trace-event export
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +29,7 @@ import (
 	"powerfail/internal/blktrace"
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
+	"powerfail/internal/obs"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
@@ -27,9 +37,28 @@ import (
 
 func main() {
 	demo := flag.Bool("demo", false, "generate a demonstration trace")
-	events := flag.Bool("events", false, "with -demo: print raw events instead of the per-IO dump")
+	events := flag.Bool("events", false, "with -demo: print the unified event log instead of the per-IO dump")
 	perIO := flag.Bool("per-io", false, "parse stdin as a per-IO dump rather than an event log")
+	legacy := flag.Bool("legacy", false, "parse stdin as a pre-v2 headerless float-seconds event log")
+	timeline := flag.Bool("timeline", false, "print a readable timeline of the structured obs events on stdin")
+	validateChrome := flag.String("validate-chrome", "", "validate a Chrome trace-event JSON file and exit")
 	flag.Parse()
+
+	if *validateChrome != "" {
+		f, err := os.Open(*validateChrome)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		n, err := obs.ValidateChromeTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "blkreport: %s: %v\n", *validateChrome, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid Chrome trace, %d events\n", *validateChrome, n)
+		return
+	}
 
 	if *demo {
 		runDemo(*events)
@@ -37,20 +66,39 @@ func main() {
 	}
 
 	var ios []*blktrace.IO
-	if *perIO {
+	switch {
+	case *perIO:
 		parsed, err := blktrace.ParsePerIO(os.Stdin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		ios = parsed
-	} else {
+	case *legacy:
 		evs, err := blktrace.ParseEvents(os.Stdin)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		ios = blktrace.Assemble(evs)
+	default:
+		obsEvents, blkEvents, err := obs.ReadUnifiedEvents(os.Stdin)
+		if errors.Is(err, obs.ErrLegacyFormat) {
+			fmt.Fprintf(os.Stderr, "blkreport: %v\nhint: re-run with -legacy to parse the old headerless float-seconds format\n", err)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *timeline {
+			must(obs.WriteTimeline(os.Stdout, obsEvents))
+			return
+		}
+		ios = blktrace.Assemble(blkEvents)
+		if n := len(obsEvents); n > 0 {
+			fmt.Printf("obs events=%d (use -timeline for the event timeline)\n", n)
+		}
 	}
 	printSummary(ios)
 }
@@ -67,6 +115,8 @@ func runDemo(rawEvents bool) {
 	tracer := blktrace.NewTracer()
 	host, err := blockdev.New(k, dev, tracer, blockdev.DefaultConfig())
 	must(err)
+	set := obs.NewSet(obs.Config{Metrics: true, Trace: true})
+	host.Observe(set.Scope("blockdev"))
 
 	// A short mixed workload, with a power fault in the middle so the
 	// dump shows errored and incomplete IOs too.
@@ -85,7 +135,7 @@ func runDemo(rawEvents bool) {
 	k.RunFor(2 * sim.Second)
 
 	if rawEvents {
-		must(blktrace.WriteEvents(os.Stdout, tracer.Events()))
+		must(obs.WriteUnifiedEvents(os.Stdout, set.TraceEvents(), tracer.Events()))
 		return
 	}
 	ios := blktrace.Assemble(tracer.Events())

@@ -33,6 +33,19 @@
 // catalog figure, across the same topology × pacing matrix:
 //
 //	sweep -trace /data/msr/web_2.csv -parallel 4 -json
+//
+// Observability and process telemetry (all off by default; enabling them
+// never changes experiment results):
+//
+//	sweep -figure fleet -progress            # live done/total, ETA, events/s on stderr
+//	sweep -figure fleet -obs -v              # per-experiment metrics summaries
+//	sweep -figure fleet -trace-out f.json    # merged Chrome trace for Perfetto
+//	sweep -figure fig5 -cpuprofile cpu.pprof # CPU profile of the campaign
+//	sweep -figure fig5 -memprofile mem.pprof # heap profile at exit
+//
+// -progress writes to stderr, so `-json -progress` still emits clean JSON
+// on stdout. -trace-out implies -obs; open the file at
+// https://ui.perfetto.dev (one process track per experiment).
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"powerfail"
@@ -60,6 +74,11 @@ func main() {
 	verbose := flag.Bool("v", false, "print every experiment report")
 	list := flag.Bool("list", false, "list registered figure ids with titles and item counts, then exit")
 	traceFile := flag.String("trace", "", "replay this MSR-style CSV block trace instead of a -figure catalog")
+	progress := flag.Bool("progress", false, "live progress line on stderr (done/total, ETA, events/s)")
+	obsOn := flag.Bool("obs", false, "enable the observability layer (sim-time metrics + structured trace)")
+	traceOut := flag.String("trace-out", "", "write a merged Chrome trace-event JSON file (implies -obs)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	if *list {
@@ -69,6 +88,36 @@ func main() {
 
 	if *parallel <= 0 {
 		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	if *traceFile != "" {
@@ -120,26 +169,59 @@ func main() {
 		}
 	}
 
+	if *obsOn || *traceOut != "" {
+		// One shared config: experiments read it, never write it. Each item
+		// still builds its own independent registry and trace ring.
+		cfg := powerfail.DefaultObsConfig()
+		for i := range items {
+			items[i].Opts.Obs = &cfg
+		}
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	start := time.Now()
+	var done int
+	var events uint64
 	campaign := powerfail.NewCampaign(items,
 		powerfail.WithParallelism(*parallel),
 		powerfail.WithProgress(func(res powerfail.CatalogResult) {
+			done++
+			if res.Report != nil {
+				events += res.Report.Events
+			}
 			switch {
 			case errors.Is(res.Err, context.Canceled):
 				// Cancelled items were never run; one summary line suffices.
 			case res.Err != nil:
+				if *progress {
+					fmt.Fprintln(os.Stderr)
+				}
 				fmt.Fprintf(os.Stderr, "FAIL %s/%s: %v\n", res.Item.Figure, res.Item.Label, res.Err)
 			case *verbose && !*jsonOut:
 				fmt.Printf("%s\n", res.Report)
+			case *progress:
+				printProgress(done, len(items), events, time.Since(start))
 			default:
 				fmt.Fprintf(os.Stderr, "done %s/%s (%.1fs wall)\n",
 					res.Item.Figure, res.Item.Label, time.Since(start).Seconds())
 			}
 		}))
 	out, err := campaign.Run(ctx)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if *traceOut != "" {
+		if werr := writeChromeTrace(*traceOut, out); werr != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", werr)
+			if err == nil {
+				defer os.Exit(1)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open at https://ui.perfetto.dev)\n", *traceOut)
+		}
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign: %v (%d/%d items completed)\n", err, out.Completed, out.Items)
 	}
@@ -168,14 +250,68 @@ func main() {
 		}
 		printSummaries(out)
 	}
-	fmt.Fprintf(os.Stderr, "total wall time: %.1fs (simulated %.0fs, %d workers)\n",
-		time.Since(start).Seconds(), out.SimTime.Seconds(), *parallel)
+	fmt.Fprintf(os.Stderr, "total wall time: %.1fs (simulated %.0fs, %d workers, %s sim events/s)\n",
+		time.Since(start).Seconds(), out.SimTime.Seconds(), *parallel, rate(out.EventsPerSec))
 	switch {
 	case errors.Is(err, context.Canceled):
 		os.Exit(130)
 	case err != nil:
 		os.Exit(1)
 	}
+}
+
+// printProgress rewrites the live stderr status line: completed items,
+// percentage, simulated-event throughput and a naive per-item-rate ETA.
+func printProgress(done, total int, events uint64, elapsed time.Duration) {
+	line := fmt.Sprintf("progress: %d/%d items (%d%%)", done, total, 100*done/total)
+	if sec := elapsed.Seconds(); sec > 0 {
+		line += fmt.Sprintf(" | %s events/s", rate(float64(events)/sec))
+	}
+	if done > 0 && done < total {
+		eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done)).Round(time.Second)
+		line += fmt.Sprintf(" | eta %s", eta)
+	}
+	// Pad over any longer previous line before the carriage return.
+	fmt.Fprintf(os.Stderr, "\r%-70s", line)
+}
+
+// rate renders an events-per-second figure compactly (12.3M, 456k, 789).
+func rate(v float64) string {
+	switch {
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// writeChromeTrace merges every completed item's structured trace into one
+// Chrome trace-event JSON file, one process track per experiment.
+func writeChromeTrace(path string, out *powerfail.CampaignResult) error {
+	var procs []powerfail.ObsProcess
+	for _, res := range out.Results {
+		if res.Err != nil || res.Report == nil || len(res.Report.ObsTrace) == 0 {
+			continue
+		}
+		procs = append(procs, powerfail.ObsProcess{
+			Name:   res.Item.Figure + "/" + res.Item.Label,
+			Events: res.Report.ObsTrace,
+		})
+	}
+	if len(procs) == 0 {
+		return fmt.Errorf("trace-out: no structured trace events captured (did every item fail?)")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := powerfail.WriteObsChromeTrace(f, procs); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printSummaries(out *powerfail.CampaignResult) {

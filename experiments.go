@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"powerfail/internal/array"
 	"powerfail/internal/core"
@@ -38,6 +39,10 @@ type CatalogResult struct {
 	Item   CatalogItem
 	Report *Report
 	Err    error
+	// Wall is the real elapsed time the item's experiment took. It is
+	// process telemetry only — excluded from the JSON encoding so campaign
+	// outputs stay deterministic across machines.
+	Wall time.Duration
 }
 
 // RunCatalog executes items sequentially, invoking progress (if non-nil)

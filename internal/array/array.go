@@ -27,6 +27,7 @@ import (
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
 	"powerfail/internal/hdd"
+	"powerfail/internal/obs"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
@@ -207,6 +208,7 @@ type Array struct {
 
 	rrNext      int // raid1 read rotation cursor
 	stripeLocks map[int64][]func()
+	tele        arrayObs
 
 	// Cached level state.
 	lines     map[addr.LPN]*cline
@@ -491,6 +493,8 @@ func (a *Array) Attribute(lpn addr.LPN, pages int) []int {
 		}
 		if len(down) >= 2 {
 			a.stats.DoubleFailureLosses++
+			a.tele.doubleFailures.Inc()
+			a.tele.sc.Instant(a.k.Now(), obs.KindInstant, "double_failure_loss", int64(lpn))
 			return down
 		}
 	}

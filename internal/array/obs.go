@@ -1,0 +1,32 @@
+package array
+
+import (
+	"powerfail/internal/obs"
+)
+
+// arrayObs holds the composite's observability handles; the zero value
+// is the disabled state (nil handles no-op).
+type arrayObs struct {
+	sc              obs.Scope
+	writeHoles      *obs.Counter
+	reconstructions *obs.Counter
+	parityRMWs      *obs.Counter
+	doubleFailures  *obs.Counter
+}
+
+// Observe attaches the array to an observability scope, recording the
+// multi-device failure phenomena as counters plus trace instants: RAID-5
+// write holes, degraded-read reconstructions and double-failure losses.
+// A disabled scope is a no-op.
+func (a *Array) Observe(sc obs.Scope) {
+	if !sc.Enabled() {
+		return
+	}
+	a.tele = arrayObs{
+		sc:              sc,
+		writeHoles:      sc.Counter("write_holes"),
+		reconstructions: sc.Counter("reconstructions"),
+		parityRMWs:      sc.Counter("parity_rmws"),
+		doubleFailures:  sc.Counter("double_failure_losses"),
+	}
+}

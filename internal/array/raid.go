@@ -4,6 +4,7 @@ import (
 	"powerfail/internal/addr"
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
+	"powerfail/internal/obs"
 )
 
 // --- RAID-0: striping ---
@@ -162,6 +163,8 @@ func (a *Array) raid5Read(cr chunkRange, result []content.Fingerprint, done func
 // every other member (the data siblings and the parity chunk).
 func (a *Array) raid5Reconstruct(cr chunkRange, result []content.Fingerprint, done func(error)) {
 	a.stats.Reconstructions++
+	a.tele.reconstructions.Inc()
+	a.tele.sc.Instant(a.k.Now(), obs.KindInstant, "reconstruction", int64(cr.mlpn))
 	acc := make([]uint64, cr.n)
 	parts := 0
 	var firstErr error
@@ -201,6 +204,7 @@ func (a *Array) raid5Reconstruct(cr chunkRange, result []content.Fingerprint, do
 // hole; it is counted when exactly one side lands.
 func (a *Array) raid5RMW(cr chunkRange, data content.Data, done func(error)) {
 	a.stats.ParityRMWs++
+	a.tele.parityRMWs.Inc()
 	var oldData, oldParity content.Data
 	reads := 2
 	var readErr error
@@ -219,6 +223,8 @@ func (a *Array) raid5RMW(cr chunkRange, data content.Data, done func(error)) {
 		afterWrites := func() {
 			if (dataErr == nil) != (parityErr == nil) {
 				a.stats.WriteHoles++
+				a.tele.writeHoles.Inc()
+				a.tele.sc.Instant(a.k.Now(), obs.KindInstant, "write_hole", int64(cr.mlpn))
 			}
 			if dataErr != nil {
 				done(dataErr)

@@ -174,6 +174,7 @@ type Queue struct {
 	byIdx    map[*subRequest]*Request
 	inflight int
 	stats    Stats
+	obs      queueObs
 }
 
 // New builds a block layer over dev, recording events into tracer (which
@@ -217,11 +218,13 @@ func (q *Queue) Submit(r *Request) {
 	r.ID = q.nextID
 	r.Queued = q.k.Now()
 	q.stats.Submitted++
+	q.obs.submitted.Inc()
 	kind := r.Op.traceKind()
 	if len(q.pending) >= q.cfg.PendingCap {
 		r.NotIssued = true
 		r.Err = ErrQueueFull
 		q.stats.Rejected++
+		q.obs.rejected.Inc()
 		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActReject, Op: kind, Req: r.ID, Sub: -1, LPN: r.LPN, Pages: r.Pages})
 		q.finish(r)
 		return
@@ -253,6 +256,7 @@ func (q *Queue) split(r *Request) {
 	}
 	if len(r.subs) > 1 {
 		q.stats.Splits += int64(len(r.subs) - 1)
+		q.obs.splits.Add(int64(len(r.subs) - 1))
 	}
 }
 
@@ -276,6 +280,7 @@ func (q *Queue) pump() {
 			q.onSubDone(r, sub, err, result)
 		})
 	}
+	q.obsSampleDepth()
 }
 
 func (q *Queue) onSubDone(r *Request, s *subRequest, err error, result content.Data) {
@@ -318,6 +323,7 @@ func (q *Queue) onSubDone(r *Request, s *subRequest, err error, result content.D
 	} else {
 		q.stats.Completed++
 	}
+	q.obsDone(r)
 	q.finish(r)
 }
 
@@ -326,6 +332,7 @@ func (q *Queue) onTimeout(r *Request) {
 		return
 	}
 	q.stats.TimedOut++
+	q.obs.timedOut.Inc()
 	r.Err = ErrTimeout
 	q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActTimeout, Op: r.Op.traceKind(), Req: r.ID, Sub: -1, LPN: r.LPN, Pages: r.Pages})
 	// Abandon outstanding subs: drop pending ones and ignore late

@@ -1,0 +1,92 @@
+package blockdev
+
+import (
+	"powerfail/internal/obs"
+)
+
+// queueObs holds one Queue's observability handles. The zero value is
+// the disabled state: every handle is nil and nil handles no-op, so the
+// hot path pays one nil check when observability is off.
+type queueObs struct {
+	sc        obs.Scope
+	submitted *obs.Counter
+	rejected  *obs.Counter
+	completed *obs.Counter
+	errored   *obs.Counter
+	timedOut  *obs.Counter
+	splits    *obs.Counter
+	inflight  *obs.Gauge
+	q2cRead   *obs.Histogram
+	q2cWrite  *obs.Histogram
+	q2cFlush  *obs.Histogram
+	q2cCtrl   *obs.Histogram
+	lastDepth int
+	sampled   bool
+}
+
+// Observe attaches the queue to an observability scope. Handles are
+// resolved once here; several queues observing into the same scope (the
+// fleet's member queues) share metrics by name. A disabled scope is a
+// no-op.
+func (q *Queue) Observe(sc obs.Scope) {
+	if !sc.Enabled() {
+		return
+	}
+	q.obs = queueObs{
+		sc:        sc,
+		submitted: sc.Counter("submitted"),
+		rejected:  sc.Counter("rejected"),
+		completed: sc.Counter("completed"),
+		errored:   sc.Counter("errored"),
+		timedOut:  sc.Counter("timed_out"),
+		splits:    sc.Counter("splits"),
+		inflight:  sc.Gauge("inflight"),
+		q2cRead:   sc.Histogram("q2c_read_ns"),
+		q2cWrite:  sc.Histogram("q2c_write_ns"),
+		q2cFlush:  sc.Histogram("q2c_flush_ns"),
+		q2cCtrl:   sc.Histogram("q2c_control_ns"),
+	}
+}
+
+// obsSampleDepth records the device-inflight depth when it changed since
+// the last sample: a gauge point always, a trace event when tracing is
+// on.
+func (q *Queue) obsSampleDepth() {
+	o := &q.obs
+	if o.inflight == nil && !o.sc.TracingOn() {
+		return
+	}
+	if o.sampled && q.inflight == o.lastDepth {
+		return
+	}
+	o.sampled = true
+	o.lastDepth = q.inflight
+	o.inflight.Set(int64(q.inflight))
+	o.sc.Instant(q.k.Now(), obs.KindQueueDepth, "inflight", int64(q.inflight))
+}
+
+// obsDone records the queue-to-complete latency of a finished request.
+// Control (verification) traffic gets its own histogram so workload
+// latency quantiles stay clean.
+func (q *Queue) obsDone(r *Request) {
+	o := &q.obs
+	if o.completed == nil {
+		return
+	}
+	if r.Err != nil {
+		o.errored.Inc()
+		return
+	}
+	o.completed.Inc()
+	d := int64(q.k.Now().Sub(r.Queued))
+	switch {
+	case r.Control:
+		o.q2cCtrl.Observe(d)
+	case r.Op == OpRead:
+		o.q2cRead.Observe(d)
+	case r.Op == OpWrite:
+		o.q2cWrite.Observe(d)
+	default:
+		o.q2cFlush.Observe(d)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"powerfail/internal/fleet"
+	"powerfail/internal/obs"
 )
 
 // runFleetExperiment is the datacenter-scale path of RunExperiment: instead
@@ -31,6 +32,11 @@ func runFleetExperiment(ctx context.Context, opts Options, spec ExperimentSpec) 
 	if err != nil {
 		return nil, err
 	}
+	var set *obs.Set
+	if opts.Obs != nil {
+		set = obs.NewSet(*opts.Obs)
+		f.Observe(set)
+	}
 	st := f.Run()
 	completed := st.FgOps - st.FgFailed
 	rep := &Report{
@@ -53,6 +59,11 @@ func runFleetExperiment(ctx context.Context, opts Options, spec ExperimentSpec) 
 	}
 	if rep.Faults > 0 {
 		rep.DataLossPerFault = float64(st.LossEvents) / float64(rep.Faults)
+	}
+	rep.Events = f.Kernel().Processed()
+	if set != nil {
+		rep.Obs = set.Summary()
+		rep.ObsTrace = set.TraceEvents()
 	}
 	return rep, nil
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"powerfail/internal/fleet"
+	"powerfail/internal/obs"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+	"powerfail/internal/txn"
+	"powerfail/internal/workload"
+)
+
+// obsTestSpec is a small single-SSD experiment the observability tests
+// share.
+func obsTestSpec() ExperimentSpec {
+	return ExperimentSpec{
+		Name: "obs",
+		Workload: workload.Spec{
+			Name:     "obs",
+			WSSBytes: 1 << 30,
+			MinSize:  4 << 10,
+			MaxSize:  64 << 10,
+			Pattern:  workload.Random,
+		},
+		Faults:           4,
+		RequestsPerFault: 12,
+		MaxSimTime:       20 * sim.Minute,
+	}
+}
+
+func obsTestOpts(cfg *obs.Config) Options {
+	prof := ssd.ProfileA()
+	prof.CapacityGB = 8
+	return Options{Seed: 99, Profile: prof, Obs: cfg}
+}
+
+func runObs(t *testing.T, opts Options, spec ExperimentSpec) *Report {
+	t.Helper()
+	rep, err := RunExperiment(context.Background(), opts, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestObsEquivalence is the acceptance criterion: an experiment run with
+// the observability layer fully enabled produces a report byte-identical
+// (JSON) to the same experiment with it disabled, once the optional obs
+// section is stripped — observation never perturbs the simulation.
+func TestObsEquivalence(t *testing.T) {
+	spec := obsTestSpec()
+	off := runObs(t, obsTestOpts(nil), spec)
+	zero := runObs(t, obsTestOpts(&obs.Config{}), spec)
+	on := runObs(t, obsTestOpts(&obs.Config{Metrics: true, Trace: true}), spec)
+
+	if off.Obs != nil || zero.Obs != nil {
+		t.Fatal("disabled runs must not carry an obs summary")
+	}
+	if on.Obs == nil || len(on.ObsTrace) == 0 {
+		t.Fatal("enabled run carries no obs data")
+	}
+	stripped := *on
+	stripped.Obs = nil
+
+	offJSON, err := json.Marshal(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroJSON, err := json.Marshal(zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onJSON, err := json.Marshal(&stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(offJSON) != string(zeroJSON) {
+		t.Errorf("nil config and zero config reports diverged:\n%s\n%s", offJSON, zeroJSON)
+	}
+	if string(offJSON) != string(onJSON) {
+		t.Errorf("observability changed the experiment outcome:\n%s\n%s", offJSON, onJSON)
+	}
+}
+
+// TestObsMetricsPopulated: the enabled run records the block-device,
+// power-scheduler and runner instrumentation the platform wires up.
+func TestObsMetricsPopulated(t *testing.T) {
+	spec := obsTestSpec()
+	rep := runObs(t, obsTestOpts(&obs.Config{Metrics: true, Trace: true}), spec)
+	s := rep.Obs
+	if rep.Events == 0 {
+		t.Error("kernel event count missing")
+	}
+	if s.Counter("blockdev/submitted") == 0 {
+		t.Error("blockdev/submitted not counted")
+	}
+	if got, want := s.Counter("power/cuts"), int64(rep.Cuts); got != want {
+		t.Errorf("power/cuts = %d, want %d (report cuts)", got, want)
+	}
+	if got, want := s.Counter("power/restores"), int64(rep.Restores); got != want {
+		t.Errorf("power/restores = %d, want %d (report restores)", got, want)
+	}
+	if h := s.Histogram("blockdev/q2c_write_ns"); h.Count == 0 {
+		t.Error("write latency histogram empty")
+	} else if h.P50 < h.Min || h.P99 > h.Max || h.P50 > h.P99 {
+		t.Errorf("write latency quantiles inconsistent: %+v", h)
+	}
+	if h := s.Histogram("runner/fault_cycle_ns"); h.Count != uint64(rep.Faults) {
+		t.Errorf("fault_cycle histogram count = %d, want %d", h.Count, rep.Faults)
+	}
+
+	var power, qdepth, blk int
+	for _, ev := range rep.ObsTrace {
+		switch ev.Kind {
+		case obs.KindPower:
+			power++
+		case obs.KindQueueDepth:
+			qdepth++
+		case obs.KindBlockIO:
+			blk++
+		}
+	}
+	if power != rep.Cuts+rep.Restores {
+		t.Errorf("power trace events = %d, want %d", power, rep.Cuts+rep.Restores)
+	}
+	if qdepth == 0 || blk == 0 {
+		t.Errorf("queue-depth (%d) or block-IO (%d) trace events missing", qdepth, blk)
+	}
+}
+
+// TestObsTxnInstrumented: the transactional source wires the engine's
+// telemetry through the platform scope.
+func TestObsTxnInstrumented(t *testing.T) {
+	prof := ssd.ProfileA()
+	prof.CapacityGB = 8
+	cfg := txn.DefaultConfig()
+	opts := Options{
+		Seed:    31,
+		Profile: prof,
+		App:     AppConfig{Txn: &cfg},
+		Obs:     &obs.Config{Metrics: true, Trace: true},
+	}
+	rep := runObs(t, opts, ExperimentSpec{
+		Name:             "obs-txn",
+		Faults:           3,
+		RequestsPerFault: 8,
+		MaxSimTime:       20 * sim.Minute,
+	})
+	s := rep.Obs
+	if s.Counter("txn/begins") == 0 || s.Counter("txn/commits") == 0 {
+		t.Errorf("txn lifecycle counters empty: begins=%d commits=%d",
+			s.Counter("txn/begins"), s.Counter("txn/commits"))
+	}
+	if got, want := s.Counter("txn/recovery_scans"), int64(rep.TxnStats.RecoveryScans); got != want {
+		t.Errorf("txn/recovery_scans = %d, want %d", got, want)
+	}
+	if h := s.Histogram("txn/commit_latency_ns"); h.Count != uint64(s.Counter("txn/commits")) {
+		t.Errorf("commit latency count %d != commits %d", h.Count, s.Counter("txn/commits"))
+	}
+	var txnEvents int
+	for _, ev := range rep.ObsTrace {
+		if ev.Kind == obs.KindTxn {
+			txnEvents++
+		}
+	}
+	if txnEvents == 0 {
+		t.Error("no txn trace events")
+	}
+}
+
+// TestObsFleetInstrumented: the fleet path wires power, state-machine and
+// rebuild-window telemetry, and observation leaves its report unchanged.
+func TestObsFleetInstrumented(t *testing.T) {
+	fcfg := &fleet.Config{
+		Arrays:   4,
+		Spares:   2,
+		Member:   fleet.MemberProfile{Pages: 1024},
+		Rebuild:  fleet.RebuildPolicy{Delay: sim.Second},
+		Faults:   fleet.FaultPlan{Level: fleet.PSU, Count: 4, Outage: 3 * sim.Second},
+		Duration: 20 * sim.Second,
+	}
+	run := func(cfg *obs.Config) *Report {
+		return runObs(t, Options{Seed: 7, Fleet: fcfg, Obs: cfg},
+			ExperimentSpec{Name: "obs-fleet"})
+	}
+	off := run(nil)
+	on := run(&obs.Config{Metrics: true, Trace: true})
+
+	stripped := *on
+	stripped.Obs = nil
+	offJSON, _ := json.Marshal(off)
+	onJSON, _ := json.Marshal(&stripped)
+	if string(offJSON) != string(onJSON) {
+		t.Errorf("observability changed the fleet outcome:\n%s\n%s", offJSON, onJSON)
+	}
+
+	s := on.Obs
+	if got, want := s.Counter("power/cuts"), int64(on.Fleet.Cuts); got != want {
+		t.Errorf("power/cuts = %d, want %d", got, want)
+	}
+	if s.Counter("fleet/slot_transitions") == 0 {
+		t.Error("no slot transitions recorded")
+	}
+	if got, want := s.Counter("fleet/declared_failures"), int64(on.Fleet.DeclaredFailures); got != want {
+		t.Errorf("fleet/declared_failures = %d, want %d", got, want)
+	}
+	if h := s.Histogram("fleet/rebuild_window_ns"); h.Count != uint64(on.Fleet.RebuildCompleted) {
+		t.Errorf("rebuild window histogram count = %d, want %d", h.Count, on.Fleet.RebuildCompleted)
+	}
+	var stateEvents int
+	for _, ev := range on.ObsTrace {
+		if ev.Kind == obs.KindState {
+			stateEvents++
+		}
+	}
+	if stateEvents == 0 {
+		t.Error("no rebuild state-transition trace events")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"powerfail/internal/blockdev"
 	"powerfail/internal/fleet"
 	"powerfail/internal/hdd"
+	"powerfail/internal/obs"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
@@ -104,6 +105,11 @@ type Options struct {
 	OffFloorVolts float64
 	// RecheckWindow bounds re-verification of already verified packets.
 	RecheckWindow sim.Duration
+	// Obs enables the observability layer (sim-time metrics registry and
+	// typed trace events) for this run. Nil — the default — disables it
+	// entirely: reports are byte-identical to builds without the layer,
+	// and the instrumented paths cost one nil check each.
+	Obs *obs.Config
 	// Trace disables blktrace recording when false is forced; tracing is
 	// on by default (required for completed/incomplete detection).
 	DisableTrace bool
@@ -160,6 +166,7 @@ type Platform struct {
 	Host    *blockdev.Queue
 	Tracer  *blktrace.Tracer
 	Sched   *FaultScheduler
+	Obs     *obs.Set // nil unless Options.Obs enabled something
 }
 
 // NewPlatform builds and wires a complete test platform.
@@ -184,6 +191,9 @@ func NewPlatform(opts Options) (*Platform, error) {
 		Arduino: ard,
 		Sched:   nil,
 	}
+	if opts.Obs != nil {
+		p.Obs = obs.NewSet(*opts.Obs)
+	}
 	switch opts.Topology.Kind {
 	case TopoSSD:
 		dev, err := ssd.New(k, root.Fork("ssd"), opts.Profile, psu)
@@ -202,6 +212,7 @@ func NewPlatform(opts Options) (*Platform, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: device: %w", err)
 		}
+		arr.Observe(p.Obs.Scope("array"))
 		p.Array, p.Dev = arr, arr
 	default:
 		return nil, fmt.Errorf("core: unknown topology kind %d", int(opts.Topology.Kind))
@@ -215,9 +226,15 @@ func NewPlatform(opts Options) (*Platform, error) {
 		return nil, fmt.Errorf("core: host: %w", err)
 	}
 	p.Host = host
+	host.Observe(p.Obs.Scope("blockdev"))
 	p.Sched = NewFaultScheduler(k, ard)
+	p.Sched.Instrument(p.Obs.Scope("power"), k)
 	return p, nil
 }
+
+// ObsScope returns an observability scope for comp, disabled (zero)
+// when the platform runs without observability.
+func (p *Platform) ObsScope(comp string) obs.Scope { return p.Obs.Scope(comp) }
 
 // FaultScheduler is the paper's Scheduler component: it decides fault
 // instants and sends On/Off commands to the microcontroller. Since the
@@ -271,3 +288,10 @@ func (s *FaultScheduler) Cuts() int { return s.sched.Cuts() }
 
 // Restores returns the number of Restore commands sent.
 func (s *FaultScheduler) Restores() int { return s.sched.Restores() }
+
+// Instrument records every cut/restore command into sc as KindPower
+// trace events plus counters, stamped on k's clock. A disabled scope is
+// a no-op.
+func (s *FaultScheduler) Instrument(sc obs.Scope, k *sim.Kernel) {
+	s.sched.Observe(sc, func() sim.Time { return k.Now() })
+}

@@ -8,6 +8,7 @@ import (
 	"powerfail/internal/blockdev"
 	"powerfail/internal/fleet"
 	"powerfail/internal/hdd"
+	"powerfail/internal/obs"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
 	"powerfail/internal/trace"
@@ -86,6 +87,22 @@ type Report struct {
 	// and bytes moved, and availability/durability nines from the simulated
 	// up/degraded/down intervals.
 	Fleet *fleet.Stats `json:"fleet_stats,omitempty"`
+
+	// Events is the number of simulator events the kernel processed. It is
+	// always recorded but excluded from JSON so that reports stay
+	// byte-identical whether or not telemetry consumers read it.
+	Events uint64 `json:"-"`
+
+	// Obs is the observability summary (metrics registry snapshot plus
+	// trace-ring accounting). It is nil unless the experiment ran with
+	// Options.Obs enabled, so default reports are byte-identical to
+	// pre-observability ones.
+	Obs *obs.Summary `json:"obs,omitempty"`
+
+	// ObsTrace is the structured event trace captured by the obs ring
+	// (empty unless tracing was enabled). It is exported separately
+	// (Chrome trace JSON / unified events), never in the report JSON.
+	ObsTrace []obs.Event `json:"-"`
 }
 
 // MemberReport is one array member's view of the experiment: how much it
@@ -195,6 +212,10 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  iops: requested %.0f responded %.0f\n", r.RequestedIOPS, r.RespondedIOPS)
 	} else {
 		fmt.Fprintf(&b, "  iops: responded %.0f\n", r.RespondedIOPS)
+	}
+	if s := r.Obs; s != nil {
+		fmt.Fprintf(&b, "  obs:      %d counters, %d gauges, %d histograms; %d trace events (%d dropped)\n",
+			len(s.Counters), len(s.Gauges), len(s.Histograms), s.TraceEvents, s.TraceDropped)
 	}
 	return b.String()
 }

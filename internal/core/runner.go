@@ -10,6 +10,7 @@ import (
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
 	"powerfail/internal/hdd"
+	"powerfail/internal/obs"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
 )
@@ -60,6 +61,8 @@ type Runner struct {
 	activeSince  sim.Time
 	activeTotal  sim.Duration
 	startedAt    sim.Time
+	cutAt        sim.Time
+	cutFired     bool
 	timedOut     bool
 	faultErrored bool // open loop: first error observed this fault cycle
 	err          error
@@ -313,6 +316,8 @@ func (r *Runner) fireCut() {
 	}
 	r.noteInactive()
 	r.ph = phaseFaulting
+	r.cutAt = r.p.K.Now()
+	r.cutFired = true
 	r.faultIdx = r.analyzer.BeginFault(r.p.K.Now())
 	r.p.Sched.Cut()
 }
@@ -348,7 +353,18 @@ func (r *Runner) maybeStartVerify() {
 	// merged Completed flags survive on the packets, so events never need
 	// to be replayed and no cursor into the stream has to be kept.
 	if r.p.Tracer != nil {
-		r.analyzer.AttachTrace(blktrace.Assemble(r.p.Tracer.Events()))
+		ios := blktrace.Assemble(r.p.Tracer.Events())
+		r.analyzer.AttachTrace(ios)
+		// Fold the fault cycle's block IOs into the obs trace as
+		// queue-to-complete spans before the raw events are discarded, so
+		// block and obs traces share one clock and one export.
+		if sc := r.p.ObsScope("blk"); sc.TracingOn() {
+			for _, bio := range ios {
+				if bio.Complete() {
+					sc.Span(bio.QueueAt, bio.Q2C(), obs.KindBlockIO, bio.Op.String(), int64(bio.Req))
+				}
+			}
+		}
 		r.p.Tracer.Reset()
 	}
 	r.verifyQueue = r.analyzer.VerifyCandidates(r.p.K.Now())
@@ -478,6 +494,13 @@ func (r *Runner) startRecovery() {
 
 // finishCycle closes a fault cycle and resumes (or ends) the workload.
 func (r *Runner) finishCycle() {
+	if r.cutFired {
+		r.cutFired = false
+		sc := r.p.ObsScope("runner")
+		d := r.p.K.Now().Sub(r.cutAt)
+		sc.Histogram("fault_cycle_ns").ObserveDuration(d)
+		sc.Span(r.cutAt, d, obs.KindSpan, "fault_cycle", int64(r.faultIdx))
+	}
 	r.faultsDone++
 	r.faultErrored = false
 	r.completedSinceFault = 0
@@ -564,6 +587,11 @@ func (r *Runner) report() *Report {
 		// Responded IOPS counts only completions during powered workload
 		// phases, measured against powered workload time.
 		rep.RespondedIOPS = float64(r.completedActive) / active.Seconds()
+	}
+	rep.Events = r.p.K.Processed()
+	if r.p.Obs != nil {
+		rep.Obs = r.p.Obs.Summary()
+		rep.ObsTrace = r.p.Obs.TraceEvents()
 	}
 	if rep.Faults > 0 {
 		rep.DataLossPerFault = float64(c.DataLosses()) / float64(rep.Faults)

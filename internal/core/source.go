@@ -238,6 +238,7 @@ func newSource(kind SourceKind, p *Platform, spec ExperimentSpec) (Source, error
 		if err != nil {
 			return nil, err
 		}
+		eng.Instrument(p.ObsScope("txn"))
 		return &txnSource{eng: eng}, nil
 	case SourceTrace:
 		rep, err := trace.NewReplayer(*spec.Trace, p.Dev.UserPages(), p.RNG.Fork("trace"))

@@ -333,6 +333,7 @@ type Sim struct {
 	activeRebuilds int
 	end            sim.Time
 	stats          Stats
+	obs            fleetObs
 }
 
 // NewSim builds a fleet over its own simulation kernel. Placement is
@@ -598,10 +599,12 @@ func (f *Sim) issueForeground(g *Group) {
 		lat := f.k.Now().Sub(start)
 		f.stats.fgLatencySum += lat
 		f.stats.fgOKOps++
+		f.obs.fgLat.ObserveDuration(lat)
 		if degraded {
 			f.stats.FgDegraded++
 			f.stats.fgDegLatSum += lat
 			f.stats.fgDegOKOps++
+			f.obs.fgDegLat.ObserveDuration(lat)
 		}
 	}
 	for _, m := range targetsR {

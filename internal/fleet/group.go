@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"powerfail/internal/blockdev"
+	"powerfail/internal/obs"
 	"powerfail/internal/sim"
 )
 
@@ -164,7 +165,7 @@ func (g *Group) accumulate() {
 func (s *Slot) memberDown() {
 	switch s.state {
 	case SlotHealthy:
-		s.state = SlotDegraded
+		s.setState(SlotDegraded)
 		s.g.recount()
 		s.grace = s.g.f.k.After(s.g.f.cfg.Rebuild.Delay, func() { s.declare() })
 	case SlotRebuilding:
@@ -184,7 +185,7 @@ func (s *Slot) memberReady() {
 			s.grace.Stop()
 			s.grace = nil
 		}
-		s.state = SlotHealthy
+		s.setState(SlotHealthy)
 		s.g.recount()
 		s.g.f.stats.TransientRecoveries++
 	case SlotFailed:
@@ -208,6 +209,7 @@ func (s *Slot) declare() {
 	s.grace = nil
 	f := s.g.f
 	f.stats.DeclaredFailures++
+	f.obs.declared.Inc()
 	s.rebuilt = 0
 	s.openWindow()
 
@@ -248,7 +250,7 @@ func (s *Slot) declare() {
 		s.startRebuild()
 	} else {
 		f.stats.SpareShortages++
-		s.state = SlotFailed
+		s.setState(SlotFailed)
 		s.g.recount()
 	}
 }
@@ -266,6 +268,7 @@ func (s *Slot) openWindow() {
 		f.stats.MaxConcurrentRebuilds = f.activeRebuilds
 	}
 	f.stats.RebuildWindows++
+	f.obs.active.Set(int64(f.activeRebuilds))
 }
 
 // closeWindow ends the window after a completed reconstruction.
@@ -276,8 +279,12 @@ func (s *Slot) closeWindow() {
 	s.window = false
 	f := s.g.f
 	f.activeRebuilds--
-	f.stats.RebuildTime += f.k.Now().Sub(s.windowStart)
+	w := f.k.Now().Sub(s.windowStart)
+	f.stats.RebuildTime += w
 	f.stats.RebuildCompleted++
+	f.obs.active.Set(int64(f.activeRebuilds))
+	f.obs.windowHist.ObserveDuration(w)
+	f.obs.sc.Span(s.windowStart, w, obs.KindSpan, "rebuild "+s.bayName(), s.rebuilt)
 }
 
 // stall pauses the chunk loop; the periodic controller retries it.
@@ -291,13 +298,13 @@ func (s *Slot) startRebuild() {
 	if !s.member.Ready() {
 		s.stall()
 		if s.state != SlotRebuilding && s.state != SlotFailed {
-			s.state = SlotFailed
+			s.setState(SlotFailed)
 			s.g.recount()
 		}
 		return
 	}
 	if s.state != SlotRebuilding {
-		s.state = SlotRebuilding
+		s.setState(SlotRebuilding)
 		s.g.recount()
 	}
 	s.openWindow()
@@ -396,7 +403,7 @@ func (s *Slot) step(gen uint64) {
 
 // finishRebuild returns the bay to service.
 func (s *Slot) finishRebuild() {
-	s.state = SlotHealthy
+	s.setState(SlotHealthy)
 	s.mode = rebuildIntra
 	s.g.recount()
 	s.closeWindow()

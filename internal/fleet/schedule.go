@@ -1,5 +1,10 @@
 package fleet
 
+import (
+	"powerfail/internal/obs"
+	"powerfail/internal/sim"
+)
+
 // Target is anything a fault schedule can cut and restore: a domain-tree
 // Node, or the classic platform's Arduino-driven PSU behind an adapter.
 type Target interface {
@@ -20,6 +25,11 @@ type Schedule struct {
 
 	totalCuts     int
 	totalRestores int
+
+	obsSc   obs.Scope
+	obsCuts *obs.Counter
+	obsRest *obs.Counter
+	now     func() sim.Time
 }
 
 // NewSchedule starts an empty schedule.
@@ -39,10 +49,27 @@ func (s *Schedule) Targets() int { return len(s.targets) }
 // Target returns the registered target with id i.
 func (s *Schedule) Target(i int) Target { return s.targets[i] }
 
+// Observe records every cut/restore command into sc (counters plus one
+// KindPower trace event per edge, named after the target). The clock
+// comes from now because the schedule itself is kernel-agnostic.
+func (s *Schedule) Observe(sc obs.Scope, now func() sim.Time) {
+	if !sc.Enabled() || now == nil {
+		return
+	}
+	s.obsSc = sc
+	s.obsCuts = sc.Counter("cuts")
+	s.obsRest = sc.Counter("restores")
+	s.now = now
+}
+
 // Cut commands target i off, counting the command per target and in total.
 func (s *Schedule) Cut(i int) {
 	s.cuts[i]++
 	s.totalCuts++
+	s.obsCuts.Inc()
+	if s.now != nil {
+		s.obsSc.Instant(s.now(), obs.KindPower, s.targets[i].Name(), 1)
+	}
 	s.targets[i].Cut()
 }
 
@@ -50,6 +77,10 @@ func (s *Schedule) Cut(i int) {
 func (s *Schedule) Restore(i int) {
 	s.restores[i]++
 	s.totalRestores++
+	s.obsRest.Inc()
+	if s.now != nil {
+		s.obsSc.Instant(s.now(), obs.KindPower, s.targets[i].Name(), 0)
+	}
 	s.targets[i].Restore()
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"powerfail/internal/addr"
 	"powerfail/internal/content"
+	"powerfail/internal/obs"
 	"powerfail/internal/sim"
 )
 
@@ -220,6 +221,7 @@ type Txn struct {
 	homeNext  int    // next home write to issue
 	homeAcked int
 	aborted   bool
+	startedAt sim.Time
 }
 
 // ID returns the transaction id (for tests).
@@ -308,6 +310,7 @@ type Engine struct {
 
 	stats Stats                           // engine counters + policy-independent oracle counters
 	folds [NumRecoveryPolicies]policyFold // per-policy verdict accumulation
+	tele  engineObs
 }
 
 // NewEngine builds an engine over a device of userPages host-visible
@@ -370,8 +373,10 @@ func (e *Engine) appendRecord(st *wstream, rel int, rec Record) (int, content.Fi
 // stream's partition; callers check space first.
 func (e *Engine) beginTxn(st *wstream) *Txn {
 	k := e.cfg.PagesPerTxn
-	t := &Txn{id: e.nextID, stream: st.id, pages: make([]txnPage, k)}
+	t := &Txn{id: e.nextID, stream: st.id, pages: make([]txnPage, k), startedAt: e.k.Now()}
 	e.nextID++
+	e.tele.begins.Inc()
+	e.tele.sc.Instant(e.k.Now(), obs.KindTxn, "begin", int64(t.id))
 	homeSpan := e.userPages - int64(e.cfg.LogPages)
 	for i := 0; i < k; i++ {
 		fp := content.Fingerprint(e.rng.Uint64())
@@ -656,6 +661,8 @@ func (e *Engine) abort(t *Txn) {
 		return
 	}
 	t.aborted = true
+	e.tele.aborts.Inc()
+	e.tele.sc.Instant(e.k.Now(), obs.KindTxn, "abort", int64(t.id))
 	if st := e.streams[t.stream]; st.cur == t {
 		st.cur = nil
 	}
@@ -674,6 +681,10 @@ func (e *Engine) ack(t *Txn) {
 	t.ackIdx = e.ackSeq
 	e.ackSeq++
 	e.stats.Committed++
+	e.tele.commits.Inc()
+	lat := t.ackedAt.Sub(t.startedAt)
+	e.tele.commitLat.ObserveDuration(lat)
+	e.tele.sc.Span(t.startedAt, lat, obs.KindTxn, "commit", int64(t.id))
 	e.homeQ = append(e.homeQ, t)
 	st := e.streams[t.stream]
 	st.sinceCkpt++

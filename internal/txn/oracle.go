@@ -7,6 +7,7 @@ import (
 
 	"powerfail/internal/addr"
 	"powerfail/internal/content"
+	"powerfail/internal/obs"
 )
 
 // Verdict classifies one acknowledged transaction after crash recovery.
@@ -426,6 +427,9 @@ func (e *Engine) FinishRecovery() CycleOutcome {
 
 	e.stats.Unacked += int64(unacked)
 	e.stats.RecoveryScans++
+	e.tele.scans.Inc()
+	e.tele.scanPages.Add(int64(out.CycleVerdicts.ScanPages))
+	e.tele.sc.Instant(e.k.Now(), obs.KindScan, "recovery_scan", int64(out.CycleVerdicts.ScanPages))
 
 	// Reset: the application restarts with an empty ledger and fresh
 	// partition generations; in-flight state died with the power.

@@ -77,6 +77,7 @@ import (
 	"powerfail/internal/flash"
 	"powerfail/internal/fleet"
 	"powerfail/internal/hdd"
+	"powerfail/internal/obs"
 	"powerfail/internal/power"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
@@ -207,6 +208,25 @@ type (
 	// counts, rebuild windows and bytes moved, and availability/durability
 	// nines from the simulated up/degraded/down intervals.
 	FleetStats = fleet.Stats
+
+	// ObsConfig enables the observability layer — a sim-time metrics
+	// registry and/or a structured trace-event ring; assign a pointer to
+	// Options.Obs. The nil default disables both and keeps reports
+	// byte-identical to pre-observability runs.
+	ObsConfig = obs.Config
+	// ObsSummary is the metrics-registry snapshot a Report carries in its
+	// optional "obs" section when enabled: sorted counter, gauge and
+	// histogram snapshots plus trace-ring accounting.
+	ObsSummary = obs.Summary
+	// ObsEvent is one structured trace event (Report.ObsTrace).
+	ObsEvent = obs.Event
+	// ObsKind classifies structured trace events (power transitions,
+	// rebuild state changes, transactions, recovery scans, queue depth,
+	// block IO spans).
+	ObsKind = obs.Kind
+	// ObsProcess groups one experiment's events for Chrome trace export
+	// (one "process" track per experiment in the Perfetto UI).
+	ObsProcess = obs.Process
 
 	// Duration and Time are simulated-clock units.
 	Duration = sim.Duration
@@ -419,3 +439,22 @@ func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
 // FleetNines converts an availability or durability fraction into "nines"
 // (0.999 → 3), capped at 12 for a run with no observed unavailability.
 func FleetNines(x float64) float64 { return fleet.Nines(x) }
+
+// DefaultObsConfig returns the full-observability configuration: metrics
+// and tracing on, with the stock trace-ring capacity.
+func DefaultObsConfig() ObsConfig {
+	return ObsConfig{Metrics: true, Trace: true, TraceCap: obs.DefaultTraceCap}
+}
+
+// MergeObsSummaries merges per-experiment observability summaries into
+// one (counters add, gauges sum, histograms merge bucket-exact); nil
+// entries are skipped and an all-nil input returns nil. The merge is
+// order-independent, so parallel campaigns aggregate deterministically.
+func MergeObsSummaries(parts []*ObsSummary) *ObsSummary { return obs.MergeSummaries(parts) }
+
+// WriteObsChromeTrace writes the processes' structured events as a Chrome
+// trace-event JSON array loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing. Output bytes are deterministic for a given input.
+func WriteObsChromeTrace(w io.Writer, procs []ObsProcess) error {
+	return obs.WriteChromeTrace(w, procs)
+}
