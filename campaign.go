@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
 	"powerfail/internal/core"
 	"powerfail/internal/obs"
+	"powerfail/internal/runstore"
 	"powerfail/internal/sim"
 )
 
@@ -38,6 +40,9 @@ type campaignConfig struct {
 	baseSeed    uint64
 	reseed      bool
 	failFast    bool
+	journalPath string
+	manifest    runstore.Manifest
+	resume      *runstore.Archive
 }
 
 // CampaignOption configures a Campaign.
@@ -71,6 +76,26 @@ func WithBaseSeed(s uint64) CampaignOption {
 // errors in the per-item results and keeps going.
 func WithFailFast() CampaignOption {
 	return func(c *campaignConfig) { c.failFast = true }
+}
+
+// WithJournal journals the run to an archive at path: the manifest m is
+// written when Run starts (the campaign fills its item list with each
+// item's ItemKey identity), one record is appended as each item
+// completes, and a final record with the merged per-figure aggregates is
+// written only when every item ran. An interrupted run therefore leaves a
+// valid, resumable archive holding every item that had finished.
+func WithJournal(path string, m RunManifest) CampaignOption {
+	return func(c *campaignConfig) { c.journalPath, c.manifest = path, m }
+}
+
+// WithResume reuses the journaled reports of a prior run loaded from a:
+// items whose ItemKey matches a completed (non-error) record are not
+// re-executed — the archived report bytes are decoded for aggregation and
+// re-emitted verbatim in the campaign's JSON, so a resumed campaign's
+// output is byte-identical to an uninterrupted run of the same items.
+// Errored, missing or unparseable records run normally.
+func WithResume(a *RunArchive) CampaignOption {
+	return func(c *campaignConfig) { c.resume = a }
 }
 
 // NewCampaign plans a campaign over items. The item slice is copied, so
@@ -199,6 +224,39 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		ctx = context.Background()
 	}
 	start := time.Now()
+
+	// Item keys are needed for both journaling (manifest + records) and
+	// resume lookup; computed once, outside the workers.
+	var keys []string
+	if c.cfg.journalPath != "" || c.cfg.resume != nil {
+		keys = make([]string, len(c.items))
+		for i := range c.items {
+			keys[i] = ItemKey(c.items[i])
+		}
+	}
+	var jw *runstore.Writer
+	if c.cfg.journalPath != "" {
+		m := c.cfg.manifest
+		if m.GoVersion == "" {
+			m.GoVersion = runtime.Version()
+		}
+		if c.cfg.reseed {
+			m.BaseSeed = c.cfg.baseSeed
+		}
+		m.Items = make([]runstore.ItemSpec, len(c.items))
+		for i, it := range c.items {
+			m.Items[i] = runstore.ItemSpec{
+				Index: i, Figure: it.Figure, Label: it.Label,
+				Seed: it.Opts.Seed, X: it.X, Key: keys[i],
+			}
+		}
+		var err error
+		jw, err = runstore.Create(c.cfg.journalPath, m)
+		if err != nil {
+			return nil, err
+		}
+	}
+
 	workers := c.cfg.parallelism
 	if workers < 1 {
 		workers = 1
@@ -225,12 +283,20 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 			for idx := range idxCh {
 				it := c.items[idx]
 				res := CatalogResult{Item: it}
-				if err := runCtx.Err(); err != nil {
-					res.Err = err
-				} else {
-					t0 := time.Now()
-					res.Report, res.Err = core.RunExperiment(runCtx, it.Opts, it.Spec)
-					res.Wall = time.Since(t0)
+				if rec := c.resumeRecord(keys, idx); rec != nil {
+					rep := new(Report)
+					if err := json.Unmarshal(rec.Report, rep); err == nil {
+						res.Report, res.raw, res.Reused = rep, rec.Report, true
+					}
+				}
+				if !res.Reused {
+					if err := runCtx.Err(); err != nil {
+						res.Err = err
+					} else {
+						t0 := time.Now()
+						res.Report, res.Err = core.RunExperiment(runCtx, it.Opts, it.Spec)
+						res.Wall = time.Since(t0)
+					}
 				}
 				resCh <- indexed{idx, res}
 			}
@@ -260,6 +326,9 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 				cancel()
 			}
 		}
+		if jw != nil {
+			c.journal(jw, r.idx, keys[r.idx], r.res)
+		}
 		if c.cfg.progress != nil {
 			c.cfg.progress(r.res)
 		}
@@ -270,14 +339,77 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	if out.WallTime > 0 {
 		out.EventsPerSec = float64(out.Events) / out.WallTime.Seconds()
 	}
+	var journalErr error
+	if jw != nil {
+		if ctx.Err() == nil && out.Cancelled == 0 {
+			if figs, err := json.Marshal(out.Figures); err == nil {
+				jw.Finalize(runstore.Final{
+					Items:     out.Items,
+					Completed: out.Completed,
+					Failed:    out.Failed,
+					SimNS:     int64(out.SimTime),
+					Figures:   figs,
+					WallNS:    int64(out.WallTime),
+					EventsPS:  out.EventsPerSec,
+				})
+			}
+		}
+		journalErr = jw.Close()
+	}
 	switch {
 	case ctx.Err() != nil:
 		return out, ctx.Err()
 	case c.cfg.failFast && firstErr != nil:
 		return out, firstErr
+	case journalErr != nil:
+		return out, journalErr
 	default:
 		return out, nil
 	}
+}
+
+// resumeRecord returns the archived record to reuse for item idx, or nil
+// (no resume archive, no match, or the match errored).
+func (c *Campaign) resumeRecord(keys []string, idx int) *runstore.ItemRecord {
+	if c.cfg.resume == nil {
+		return nil
+	}
+	rec := c.cfg.resume.Lookup(keys[idx])
+	if rec == nil || rec.Error != "" || len(rec.Report) == 0 {
+		return nil
+	}
+	return rec
+}
+
+// journal appends one completed item to the run archive. Cancelled items
+// are not journaled — a resumed run must execute them. A report is
+// journaled with its exact JSON (the archived bytes for a reused item, a
+// fresh marshal otherwise), which is what resume later re-emits.
+func (c *Campaign) journal(jw *runstore.Writer, idx int, key string, res CatalogResult) {
+	if res.Err != nil && isCancellation(res.Err) {
+		return
+	}
+	rec := runstore.ItemRecord{
+		Index:  idx,
+		Key:    key,
+		Figure: res.Item.Figure,
+		Label:  res.Item.Label,
+		Seed:   res.Item.Opts.Seed,
+	}
+	switch {
+	case res.Err != nil:
+		rec.Error = res.Err.Error()
+	case res.raw != nil:
+		rec.Report = res.raw
+	case res.Report != nil:
+		b, err := json.Marshal(res.Report)
+		if err != nil {
+			rec.Error = "marshal report: " + err.Error()
+		} else {
+			rec.Report = b
+		}
+	}
+	jw.Append(rec)
 }
 
 func isCancellation(err error) bool {
@@ -327,25 +459,37 @@ func (c *Campaign) aggregate(out *CampaignResult) {
 	}
 }
 
-// MarshalJSON renders the result with item errors as strings.
+// MarshalJSON renders the result with item errors as strings. A report
+// loaded from a resume archive is re-emitted from its archived bytes
+// (the encoder re-indents raw JSON, so indented output stays identical
+// too) — byte-identity of resumed campaigns never depends on a report
+// surviving an unmarshal/marshal round trip.
 func (r CatalogResult) MarshalJSON() ([]byte, error) {
 	var errStr string
 	if r.Err != nil {
 		errStr = r.Err.Error()
 	}
+	rep := r.raw
+	if rep == nil && r.Report != nil {
+		b, err := json.Marshal(r.Report)
+		if err != nil {
+			return nil, err
+		}
+		rep = b
+	}
 	return json.Marshal(struct {
-		Figure string  `json:"figure"`
-		Label  string  `json:"label"`
-		X      float64 `json:"x"`
-		Seed   uint64  `json:"seed"`
-		Report *Report `json:"report,omitempty"`
-		Error  string  `json:"error,omitempty"`
+		Figure string          `json:"figure"`
+		Label  string          `json:"label"`
+		X      float64         `json:"x"`
+		Seed   uint64          `json:"seed"`
+		Report json.RawMessage `json:"report,omitempty"`
+		Error  string          `json:"error,omitempty"`
 	}{
 		Figure: r.Item.Figure,
 		Label:  r.Item.Label,
 		X:      r.Item.X,
 		Seed:   r.Item.Opts.Seed,
-		Report: r.Report,
+		Report: rep,
 		Error:  errStr,
 	})
 }

@@ -1,0 +1,160 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document: benchmark name → per-metric means
+// (ns/op, B/op, allocs/op, plus every custom b.ReportMetric unit such as
+// events/s, losses/fault, faultcycles/s or sim_ms/fault). CI uses it to
+// emit a BENCH_<date>.json artifact next to the raw bench.txt; the
+// checked-in bench/BENCH_*.json files are the seeded baselines.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -count=6 ./... | benchjson > BENCH_2026-08-08.json
+//	benchjson -in bench.txt -o BENCH_2026-08-08.json
+//
+// Repeated runs of one benchmark (-count > 1) average into a single
+// entry with the sample count recorded, benchstat-style. Non-benchmark
+// lines (test output, series tables) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// entry accumulates one benchmark's samples.
+type entry struct {
+	Samples int                `json:"samples"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type document struct {
+	Date       string            `json:"date"`
+	GoVersion  string            `json:"go"`
+	GOOS       string            `json:"goos,omitempty"`
+	GOARCH     string            `json:"goarch,omitempty"`
+	Benchmarks map[string]*entry `json:"benchmarks"`
+}
+
+func main() {
+	in := flag.String("in", "", "read bench output from this file (default stdin)")
+	out := flag.String("o", "", "write JSON to this file (default stdout)")
+	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date stamp for the document")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+
+	doc := document{
+		Date:       *date,
+		GoVersion:  runtime.Version(),
+		Benchmarks: map[string]*entry{},
+	}
+	sums := map[string]map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+			continue
+		}
+		name, iters, metrics, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		e := doc.Benchmarks[name]
+		if e == nil {
+			e = &entry{Metrics: map[string]float64{}}
+			doc.Benchmarks[name] = e
+			sums[name] = map[string]float64{}
+		}
+		e.Samples++
+		e.Iters += iters
+		for unit, v := range metrics {
+			sums[name][unit] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	for name, e := range doc.Benchmarks {
+		for unit, sum := range sums[name] {
+			e.Metrics[unit] = sum / float64(e.Samples)
+		}
+	}
+	if len(doc.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark result lines in input"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// encoding/json sorts map keys, so the document is diff-friendly.
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+// parseBenchLine decodes one `BenchmarkName-P  N  v1 unit1  v2 unit2 ...`
+// result line. The -P GOMAXPROCS suffix is stripped so baselines compare
+// across runner shapes.
+func parseBenchLine(line string) (name string, iters int64, metrics map[string]float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, nil, false
+	}
+	name = fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", 0, nil, false
+	}
+	metrics = map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, nil, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return "", 0, nil, false
+	}
+	return name, iters, metrics, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

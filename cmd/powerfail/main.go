@@ -10,6 +10,7 @@
 //	powerfail -profile A -faults 40 -sequence WAW -seed 7
 //	powerfail -profile A -faults 30 -window-delay 200ms
 //	powerfail -profile A -faults 200 -json > report.json
+//	powerfail -profile A -faults 50 -obs      # + sim-time metric dump on stderr
 //
 // Ctrl-C cancels the experiment; the partial report is still printed.
 package main
@@ -25,6 +26,7 @@ import (
 	"strings"
 
 	"powerfail"
+	"powerfail/cmd/internal/obsflag"
 	"powerfail/internal/sim"
 )
 
@@ -46,6 +48,7 @@ func main() {
 		supercap = flag.Bool("supercap", false, "equip the drive with power-loss protection")
 		window   = flag.Duration("window-delay", -1, "inject faults this long after a request's ACK (Sec. IV-A mode)")
 		jsonOut  = flag.Bool("json", false, "print the report as JSON")
+		obsOn    = obsflag.Register()
 	)
 	flag.Parse()
 
@@ -105,7 +108,8 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	rep, err := powerfail.RunContext(ctx, powerfail.Options{Seed: *seed, Profile: prof}, spec)
+	opts := powerfail.Options{Seed: *seed, Profile: prof, Obs: obsflag.Configure(*obsOn)}
+	rep, err := powerfail.RunContext(ctx, opts, spec)
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -124,6 +128,11 @@ func main() {
 		}
 	} else {
 		fmt.Print(rep)
+	}
+	if *obsOn {
+		// The metric dump goes to stderr so `-json -obs` keeps stdout as
+		// pure report JSON (the summary is in the JSON too, as "obs").
+		obsflag.Dump(os.Stderr, spec.Name, rep.Obs)
 	}
 	if interrupted {
 		os.Exit(130)

@@ -1,0 +1,133 @@
+// Command powerstat compares two campaign run archives benchstat-style:
+// items are aligned by (figure, label), every per-figure reliability
+// metric gets a delta with a Welch 95% confidence interval, and each
+// delta is verdicted regressed / improved / unchanged against the
+// metric's direction (loss rates and latency quantiles regress upward,
+// availability and durability nines regress downward).
+//
+// Usage:
+//
+//	sweep -figure fig5 -journal old.run          # on the base commit
+//	sweep -figure fig5 -journal new.run          # on the candidate
+//	powerstat old.run new.run                    # human table
+//	powerstat -json old.run new.run              # machine-readable diff
+//	powerstat -all old.run new.run               # include unchanged rows
+//
+// Exit status: 0 when no metric regressed, 1 when at least one did, 2 on
+// usage or archive errors — so CI can gate on `powerstat base.run pr.run`.
+// Two archives of the same seeds and specs compare as all-unchanged with
+// exact zero deltas (campaign output is deterministic).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"powerfail"
+	"powerfail/internal/runstore"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit the diff as JSON instead of a table")
+	showAll := flag.Bool("all", false, "print unchanged metrics too, not just changed ones")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: powerstat [-json] [-all] old.run new.run\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldA, err := powerfail.OpenRunArchive(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	newA, err := powerfail.OpenRunArchive(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	diff, err := powerfail.DiffRunArchives(oldA, newA)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diff); err != nil {
+			fatal(err)
+		}
+	} else {
+		printDiff(diff, oldA, newA, *showAll)
+	}
+	if diff.Regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "powerstat:", err)
+	os.Exit(2)
+}
+
+func printDiff(d *powerfail.RunDiff, oldA, newA *powerfail.RunArchive, showAll bool) {
+	fmt.Printf("old: %s (%s)\n", d.Old, describe(oldA))
+	fmt.Printf("new: %s (%s)\n", d.New, describe(newA))
+
+	for _, fd := range d.Figures {
+		fmt.Printf("\n%s: %d items aligned", fd.Figure, fd.Aligned)
+		if fd.OldOnly > 0 {
+			fmt.Printf(", %d old-only", fd.OldOnly)
+		}
+		if fd.NewOnly > 0 {
+			fmt.Printf(", %d new-only", fd.NewOnly)
+		}
+		fmt.Println()
+		var rows []runstore.MetricDelta
+		for _, md := range fd.Metrics {
+			if showAll || md.Verdict != runstore.Unchanged {
+				rows = append(rows, md)
+			}
+		}
+		if len(rows) == 0 {
+			if len(fd.Metrics) > 0 {
+				fmt.Printf("  (all %d metrics unchanged)\n", len(fd.Metrics))
+			}
+			continue
+		}
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "  metric\told\tnew\tdelta\t95%% CI\tverdict\n")
+		for _, md := range rows {
+			fmt.Fprintf(tw, "  %s\t%.4g\t%.4g\t%+.4g\t[%+.4g, %+.4g]\t%s\n",
+				md.Metric, md.OldMean, md.NewMean, md.Delta, md.CILo, md.CIHi, md.Verdict)
+		}
+		tw.Flush()
+	}
+	fmt.Printf("\n%d regressed, %d improved, %d unchanged\n",
+		d.Regressions, d.Improvements, d.Unchanged_)
+}
+
+// describe summarizes one archive's provenance for the header lines.
+func describe(a *powerfail.RunArchive) string {
+	m := a.Manifest
+	s := fmt.Sprintf("%d items", a.Completed())
+	if a.Final == nil {
+		s += ", interrupted"
+	}
+	if m.GoVersion != "" {
+		s += ", " + m.GoVersion
+	}
+	if m.VCSRevision != "" {
+		rev := m.VCSRevision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += ", rev " + rev
+	}
+	return s
+}

@@ -42,10 +42,23 @@
 //	sweep -figure fleet -trace-out f.json    # merged Chrome trace for Perfetto
 //	sweep -figure fig5 -cpuprofile cpu.pprof # CPU profile of the campaign
 //	sweep -figure fig5 -memprofile mem.pprof # heap profile at exit
+//	sweep -figure fig5 -listen :9090         # live /metrics (OpenMetrics) + /debug/pprof
 //
 // -progress writes to stderr, so `-json -progress` still emits clean JSON
 // on stdout. -trace-out implies -obs; open the file at
 // https://ui.perfetto.dev (one process track per experiment).
+//
+// Run archives (see DESIGN.md "Run store & differential reports"):
+//
+//	sweep -figure fig5 -journal fig5.run     # journal every item + final aggregates
+//	sweep -figure fig5 -resume fig5.run      # resume: journaled items are not re-run
+//	powerstat old.run new.run                # compare two archives, benchstat-style
+//
+// A journaled campaign appends each item's report to the archive as it
+// completes, so an interrupted run (Ctrl-C, crash) keeps its finished
+// items; -resume re-uses them byte-for-byte and the final output is
+// identical to an uninterrupted run. -resume re-journals to the same
+// file unless -journal names a different one.
 package main
 
 import (
@@ -61,6 +74,7 @@ import (
 	"time"
 
 	"powerfail"
+	"powerfail/cmd/internal/obsflag"
 	"powerfail/internal/sim"
 	"powerfail/internal/ssd"
 )
@@ -75,10 +89,13 @@ func main() {
 	list := flag.Bool("list", false, "list registered figure ids with titles and item counts, then exit")
 	traceFile := flag.String("trace", "", "replay this MSR-style CSV block trace instead of a -figure catalog")
 	progress := flag.Bool("progress", false, "live progress line on stderr (done/total, ETA, events/s)")
-	obsOn := flag.Bool("obs", false, "enable the observability layer (sim-time metrics + structured trace)")
+	obsOn := obsflag.Register()
 	traceOut := flag.String("trace-out", "", "write a merged Chrome trace-event JSON file (implies -obs)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	journal := flag.String("journal", "", "journal the campaign to this run archive (resumable, powerstat-comparable)")
+	resume := flag.String("resume", "", "resume from this run archive: journaled items are reused, not re-run")
+	listen := flag.String("listen", "", "serve live telemetry on this address (/metrics OpenMetrics + /debug/pprof)")
 	flag.Parse()
 
 	if *list {
@@ -169,13 +186,23 @@ func main() {
 		}
 	}
 
-	if *obsOn || *traceOut != "" {
+	if cfg := obsflag.Configure(*obsOn || *traceOut != ""); cfg != nil {
 		// One shared config: experiments read it, never write it. Each item
 		// still builds its own independent registry and trace ring.
-		cfg := powerfail.DefaultObsConfig()
 		for i := range items {
-			items[i].Opts.Obs = &cfg
+			items[i].Opts.Obs = cfg
 		}
+	}
+
+	var tel *telemetry
+	if *listen != "" {
+		tel = newTelemetry(items)
+		addr, err := serveTelemetry(*listen, tel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (+ /debug/pprof)\n", addr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -184,12 +211,15 @@ func main() {
 	start := time.Now()
 	var done int
 	var events uint64
-	campaign := powerfail.NewCampaign(items,
+	copts := []powerfail.CampaignOption{
 		powerfail.WithParallelism(*parallel),
 		powerfail.WithProgress(func(res powerfail.CatalogResult) {
 			done++
 			if res.Report != nil {
 				events += res.Report.Events
+			}
+			if tel != nil {
+				tel.observe(res)
 			}
 			switch {
 			case errors.Is(res.Err, context.Canceled):
@@ -207,10 +237,37 @@ func main() {
 				fmt.Fprintf(os.Stderr, "done %s/%s (%.1fs wall)\n",
 					res.Item.Figure, res.Item.Label, time.Since(start).Seconds())
 			}
-		}))
+		}),
+	}
+	if *resume != "" {
+		arch, aerr := powerfail.OpenRunArchive(*resume)
+		if aerr != nil {
+			fmt.Fprintln(os.Stderr, aerr)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "resuming from %s (%d journaled items)\n", *resume, arch.Completed())
+		copts = append(copts, powerfail.WithResume(arch))
+		if *journal == "" {
+			// Re-journal over the same archive so the resumed run leaves a
+			// complete one behind (the archive is fully in memory by now).
+			*journal = *resume
+		}
+	}
+	if *journal != "" {
+		figID := *set
+		if *traceFile != "" {
+			figID = "trace"
+		}
+		copts = append(copts, powerfail.WithJournal(*journal, powerfail.NewRunManifest("sweep", figID, *scale)))
+	}
+	campaign := powerfail.NewCampaign(items, copts...)
 	out, err := campaign.Run(ctx)
 	if *progress {
-		fmt.Fprintln(os.Stderr)
+		// Overwrite the live line with the completion summary the ETA line
+		// was building toward: items, total wall time, sim-event rate.
+		fmt.Fprintf(os.Stderr, "\r%-70s\n", fmt.Sprintf(
+			"progress: %d/%d items done | total wall %.1fs | %s sim events/s",
+			out.Completed, out.Items, out.WallTime.Seconds(), rate(out.EventsPerSec)))
 	}
 	if *traceOut != "" {
 		if werr := writeChromeTrace(*traceOut, out); werr != nil {
@@ -224,6 +281,9 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "campaign: %v (%d/%d items completed)\n", err, out.Completed, out.Items)
+	}
+	if *journal != "" {
+		fmt.Fprintf(os.Stderr, "run archive: %s\n", *journal)
 	}
 
 	if *jsonOut {
@@ -249,6 +309,13 @@ func main() {
 			printFigure(fig, byFigure[fig])
 		}
 		printSummaries(out)
+		if *obsOn {
+			// The merged per-figure metric dumps go to stderr, like every
+			// other telemetry stream, so stdout stays pure markdown.
+			for _, s := range out.Figures {
+				obsflag.Dump(os.Stderr, "figure "+s.Figure, s.Obs)
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "total wall time: %.1fs (simulated %.0fs, %d workers, %s sim events/s)\n",
 		time.Since(start).Seconds(), out.SimTime.Seconds(), *parallel, rate(out.EventsPerSec))

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+
+	"powerfail"
+	"powerfail/internal/obs"
+)
+
+// telemetry is the -listen endpoint's shared state. The campaign's
+// progress callback feeds it (serialized on the Run goroutine); the HTTP
+// handlers snapshot it under the mutex. The server only ever reads
+// completed results, so scraping can never perturb the campaign's
+// deterministic output.
+type telemetry struct {
+	mu     sync.Mutex
+	start  time.Time
+	total  int
+	done   int
+	failed int
+	reused int
+	events uint64
+
+	figOrder []string
+	figTotal map[string]int
+	figDone  map[string]int
+
+	obsParts []*obs.Summary
+}
+
+func newTelemetry(items []powerfail.CatalogItem) *telemetry {
+	t := &telemetry{
+		start:    time.Now(),
+		total:    len(items),
+		figTotal: map[string]int{},
+		figDone:  map[string]int{},
+	}
+	for _, it := range items {
+		if t.figTotal[it.Figure] == 0 {
+			t.figOrder = append(t.figOrder, it.Figure)
+		}
+		t.figTotal[it.Figure]++
+	}
+	return t
+}
+
+// observe records one completed item.
+func (t *telemetry) observe(res powerfail.CatalogResult) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done++
+	t.figDone[res.Item.Figure]++
+	if res.Err != nil {
+		t.failed++
+	}
+	if res.Reused {
+		t.reused++
+	}
+	if res.Report != nil {
+		t.events += res.Report.Events
+		if res.Report.Obs != nil {
+			t.obsParts = append(t.obsParts, res.Report.Obs)
+		}
+	}
+}
+
+// metrics serves the OpenMetrics text exposition: campaign progress,
+// per-figure completion counters, live events/s, and the merged
+// observability summary of every completed item so far.
+func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+
+	elapsed := time.Since(t.start).Seconds()
+	eps := 0.0
+	if elapsed > 0 {
+		eps = float64(t.events) / elapsed
+	}
+	fmt.Fprintf(w, "# TYPE sweep_items gauge\nsweep_items %d\n", t.total)
+	fmt.Fprintf(w, "# TYPE sweep_items_completed counter\nsweep_items_completed_total %d\n", t.done)
+	fmt.Fprintf(w, "# TYPE sweep_items_failed counter\nsweep_items_failed_total %d\n", t.failed)
+	fmt.Fprintf(w, "# TYPE sweep_items_reused counter\nsweep_items_reused_total %d\n", t.reused)
+	fmt.Fprintf(w, "# TYPE sweep_sim_events counter\nsweep_sim_events_total %d\n", t.events)
+	fmt.Fprintf(w, "# TYPE sweep_sim_events_per_second gauge\nsweep_sim_events_per_second %g\n", eps)
+	fmt.Fprintf(w, "# TYPE sweep_elapsed_seconds gauge\nsweep_elapsed_seconds %g\n", elapsed)
+	fmt.Fprintf(w, "# TYPE sweep_figure_items gauge\n")
+	for _, fig := range t.figOrder {
+		fmt.Fprintf(w, "sweep_figure_items{figure=%q} %d\n", fig, t.figTotal[fig])
+	}
+	fmt.Fprintf(w, "# TYPE sweep_figure_items_completed counter\n")
+	for _, fig := range t.figOrder {
+		fmt.Fprintf(w, "sweep_figure_items_completed_total{figure=%q} %d\n", fig, t.figDone[fig])
+	}
+	// One merged summary (not per-figure) keeps every obs family unique
+	// in the exposition, as OpenMetrics requires.
+	if merged := obs.MergeSummaries(t.obsParts); merged != nil {
+		merged.WriteOpenMetrics(w, "powerfail_")
+	}
+	fmt.Fprintln(w, "# EOF")
+}
+
+// serveTelemetry binds addr and serves /metrics plus the net/http/pprof
+// handlers in the background for the life of the process. It returns the
+// bound address (useful with ":0").
+func serveTelemetry(addr string, t *telemetry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("sweep: -listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "powerfail sweep telemetry\n\n/metrics      OpenMetrics exposition\n/debug/pprof  runtime profiles\n")
+	})
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

@@ -3,6 +3,7 @@ package powerfail
 import (
 	"context"
 	"embed"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -43,6 +44,13 @@ type CatalogResult struct {
 	// process telemetry only — excluded from the JSON encoding so campaign
 	// outputs stay deterministic across machines.
 	Wall time.Duration
+	// Reused reports that the result was loaded from a resume archive
+	// (WithResume) instead of executed.
+	Reused bool
+	// raw holds the report's original JSON when the result came from a
+	// resume archive; MarshalJSON re-emits it verbatim so a resumed
+	// campaign's output is byte-identical to an uninterrupted run.
+	raw json.RawMessage
 }
 
 // RunCatalog executes items sequentially, invoking progress (if non-nil)

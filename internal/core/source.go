@@ -46,6 +46,24 @@ func (k SourceKind) String() string {
 // MarshalJSON renders the kind by name.
 func (k SourceKind) MarshalJSON() ([]byte, error) { return []byte(`"` + k.String() + `"`), nil }
 
+// UnmarshalJSON parses a source-kind name, so marshaled specs (run
+// archives, report JSON) decode back into typed values.
+func (k *SourceKind) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"auto"`:
+		*k = SourceAuto
+	case `"workload"`:
+		*k = SourceWorkload
+	case `"txn"`:
+		*k = SourceTxn
+	case `"trace"`:
+		*k = SourceTrace
+	default:
+		return fmt.Errorf("core: unknown source kind %s", b)
+	}
+	return nil
+}
+
 // SourceIO is one request an IO source wants on the wire. Flushes carry
 // no pages or payload. The token field routes the completion back to the
 // source's private state (e.g. the transaction the IO belongs to).

@@ -1,0 +1,201 @@
+// Property tests for the summary-merge algebra and histogram quantile
+// edge cases: campaign resume re-aggregates archived per-item summaries,
+// so MergeSummaries must behave like a commutative, associative monoid
+// over summaries and quantiles must stay sane on degenerate inputs.
+package obs
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// randomSummary builds a small random summary from a seeded source, so
+// property runs are reproducible. It mixes counters, gauges and
+// histograms over a shared name pool to force same-name merging.
+func randomSummary(r *rand.Rand) *Summary {
+	s := &Summary{TraceEvents: r.Intn(10), TraceDropped: uint64(r.Intn(3))}
+	names := []string{"a.x", "a.y", "b.lat_ns", "c.depth"}
+	for _, n := range names[:1+r.Intn(len(names))] {
+		switch r.Intn(3) {
+		case 0:
+			s.Counters = append(s.Counters, CounterSnapshot{Name: n, Value: int64(r.Intn(100))})
+		case 1:
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: n, Value: int64(r.Intn(1000)), Max: int64(r.Intn(1000))})
+		default:
+			var h Histogram
+			for i := r.Intn(20); i >= 0; i-- {
+				h.Observe(int64(r.Intn(1 << uint(4+r.Intn(30)))))
+			}
+			s.Histograms = append(s.Histograms, h.Snapshot(n))
+		}
+	}
+	return s
+}
+
+// equalSummaries compares through JSON so unexported state and nil-vs-
+// empty slice differences cannot cause false negatives.
+func equalSummaries(t *testing.T, a, b *Summary) bool {
+	t.Helper()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(ja) == string(jb)
+}
+
+// TestMergeSummariesCommutative: merge order of the parts never changes
+// the merged summary (campaign items complete in scheduling order, which
+// varies with parallelism).
+func TestMergeSummariesCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		parts := make([]*Summary, 2+r.Intn(4))
+		for i := range parts {
+			parts[i] = randomSummary(r)
+		}
+		want := MergeSummaries(parts)
+		perm := make([]*Summary, len(parts))
+		for i, j := range r.Perm(len(parts)) {
+			perm[i] = parts[j]
+		}
+		if got := MergeSummaries(perm); !equalSummaries(t, want, got) {
+			t.Fatalf("trial %d: merge not commutative\nwant %+v\ngot  %+v", trial, want, got)
+		}
+	}
+}
+
+// TestMergeSummariesAssociative: merging pre-merged groups equals merging
+// everything flat — resume merges archived summaries that were themselves
+// merged per figure.
+func TestMergeSummariesAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		parts := make([]*Summary, 3+r.Intn(4))
+		for i := range parts {
+			parts[i] = randomSummary(r)
+		}
+		flat := MergeSummaries(parts)
+		cut := 1 + r.Intn(len(parts)-1)
+		grouped := MergeSummaries([]*Summary{
+			MergeSummaries(parts[:cut]),
+			MergeSummaries(parts[cut:]),
+		})
+		if !equalSummaries(t, flat, grouped) {
+			t.Fatalf("trial %d: merge not associative (cut %d)\nflat    %+v\ngrouped %+v",
+				trial, cut, flat, grouped)
+		}
+	}
+}
+
+// TestMergeSummariesIdentity: nil parts are ignored and all-nil input
+// merges to nil (the "observability off" value).
+func TestMergeSummariesIdentity(t *testing.T) {
+	if got := MergeSummaries([]*Summary{nil, nil}); got != nil {
+		t.Fatalf("all-nil merge = %+v, want nil", got)
+	}
+	r := rand.New(rand.NewSource(3))
+	s := randomSummary(r)
+	if got := MergeSummaries([]*Summary{nil, s, nil}); !equalSummaries(t, MergeSummaries([]*Summary{s}), got) {
+		t.Fatalf("nil parts changed the merge: %+v", got)
+	}
+}
+
+// TestHistogramQuantileEmpty: a histogram with no samples answers 0 for
+// every quantile and snapshots to the zero value.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %d, want 0", q, got)
+		}
+	}
+	if s := h.Snapshot("x"); s.Count != 0 || len(s.Buckets) != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+// TestHistogramQuantileSingleSample: with one sample every quantile is
+// that sample exactly (min == max clamps the bucket upper bound).
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 1023, 1 << 40} {
+		var h Histogram
+		h.Observe(v)
+		for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Fatalf("single-sample(%d) Quantile(%g) = %d", v, q, got)
+			}
+		}
+	}
+}
+
+// TestHistogramQuantileOneBucket: many samples of one value keep every
+// quantile at that value — the bucket's upper bound must be clamped to
+// the exact max, not the bucket boundary.
+func TestHistogramQuantileOneBucket(t *testing.T) {
+	var h Histogram
+	const v = 1000003
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.999, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Fatalf("one-bucket Quantile(%g) = %d, want %d", q, got, v)
+		}
+	}
+	snap := h.Snapshot("x")
+	if snap.P50 != v || snap.P99 != v {
+		t.Fatalf("one-bucket snapshot quantiles = %d/%d, want %d", snap.P50, snap.P99, v)
+	}
+}
+
+// FuzzHistogramQuantile drives random sample sets through the histogram
+// and checks the quantile invariants: bounded by [min, max], monotone in
+// q, and preserved exactly through a snapshot round trip.
+func FuzzHistogramQuantile(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, uint16(500))
+	f.Add([]byte{0}, uint16(0))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}, uint16(1000))
+	f.Fuzz(func(t *testing.T, raw []byte, qRaw uint16) {
+		var h Histogram
+		// 8 bytes per sample; a short tail contributes a final small sample.
+		for len(raw) > 0 {
+			n := 8
+			if len(raw) < n {
+				n = len(raw)
+			}
+			var v int64
+			for _, b := range raw[:n] {
+				v = v<<8 | int64(b)
+			}
+			if v < 0 {
+				v = -v
+			}
+			h.Observe(v)
+			raw = raw[n:]
+		}
+		if h.Count() == 0 {
+			if got := h.Quantile(0.5); got != 0 {
+				t.Fatalf("empty Quantile = %d", got)
+			}
+			return
+		}
+		q := float64(qRaw%1001) / 1000
+		v := h.Quantile(q)
+		lo, hi := h.Quantile(0), h.Quantile(1)
+		if v < lo || v > hi {
+			t.Fatalf("Quantile(%g) = %d outside [%d, %d]", q, v, lo, hi)
+		}
+		if q2 := q / 2; h.Quantile(q2) > v {
+			t.Fatalf("quantiles not monotone: q(%g)=%d > q(%g)=%d", q2, h.Quantile(q2), q, v)
+		}
+		// Snapshot → Histogram reconstruction preserves quantiles exactly.
+		if rec := h.Snapshot("f").Histogram(); rec.Quantile(q) != v {
+			t.Fatalf("round-trip Quantile(%g) = %d, want %d", q, rec.Quantile(q), v)
+		}
+	})
+}

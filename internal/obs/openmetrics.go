@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteOpenMetrics renders the summary in OpenMetrics text exposition
+// format: one metric family per counter, gauge and histogram, each name
+// prefixed with ns and sanitized to the exposition charset. Counters
+// become `<ns><name>_total`, gauges expose their last value plus a
+// `<name>_max` family, histograms expose the classic cumulative
+// `_bucket{le="..."}` / `_count` / `_sum` series built from the exact
+// snapshot buckets.
+//
+// The caller owns the surrounding exposition — in particular the final
+// "# EOF" terminator — so campaign-level families and a merged summary
+// can share one scrape body.
+func (s *Summary) WriteOpenMetrics(w io.Writer, ns string) error {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Counters {
+		name := ns + sanitizeMetricName(c.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s_total %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := ns + sanitizeMetricName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n# TYPE %s_max gauge\n%s_max %d\n",
+			name, name, g.Value, name, name, g.Max); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := writeOpenMetricsHistogram(w, ns, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeOpenMetricsHistogram(w io.Writer, ns string, h HistogramSnapshot) error {
+	name := ns + sanitizeMetricName(h.Name)
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	// Snapshot buckets are sorted by index, so a single pass accumulates
+	// the cumulative counts the exposition wants.
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		u := b.Upper()
+		if u == math.MaxInt64 {
+			continue // covered by the trailing +Inf bucket
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, u, cum); err != nil {
+			return err
+		}
+	}
+	if cum < h.Count {
+		cum = h.Count // defensive: snapshots always bucket every sample
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n%s_sum %d\n",
+		name, cum, name, h.Count, name, h.Sum)
+	return err
+}
+
+// sanitizeMetricName maps a registry metric name onto the OpenMetrics
+// name charset [a-zA-Z0-9_:], turning scope separators into underscores.
+func sanitizeMetricName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,302 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"powerfail/internal/obs"
+)
+
+// Verdict classifies one metric's delta between two archives.
+type Verdict string
+
+// Verdicts. Indeterminate marks deltas whose confidence interval cannot
+// be estimated (fewer than two samples a side with a nonzero delta):
+// reported, never counted as a regression.
+const (
+	Unchanged     Verdict = "unchanged"
+	Regressed     Verdict = "regressed"
+	Improved      Verdict = "improved"
+	Indeterminate Verdict = "~"
+)
+
+// Direction says which way a metric is allowed to move.
+type Direction int
+
+// Directions.
+const (
+	// HigherWorse flags upward deltas as regressions (loss rates,
+	// unreachable commits, latency quantiles).
+	HigherWorse Direction = iota
+	// HigherBetter flags downward deltas as regressions (nines).
+	HigherBetter
+	// Informational deltas are reported but never verdicted beyond
+	// changed/unchanged (obs histograms that are not durations).
+	Informational
+)
+
+// MetricDelta is one per-figure metric compared across two archives.
+type MetricDelta struct {
+	Metric    string    `json:"metric"`
+	Direction Direction `json:"-"`
+
+	OldN    int     `json:"-"`
+	NewN    int     `json:"-"`
+	OldMean float64 `json:"old_mean"`
+	NewMean float64 `json:"new_mean"`
+	// Delta is NewMean - OldMean; [CILo, CIHi] is its Welch 95%
+	// confidence interval (degenerate [Delta,Delta] when no variance
+	// estimate exists).
+	Delta float64 `json:"delta"`
+	CILo  float64 `json:"ci_lo"`
+	CIHi  float64 `json:"ci_hi"`
+
+	Verdict Verdict `json:"verdict"`
+}
+
+// FigureDiff compares one figure present in both archives.
+type FigureDiff struct {
+	Figure string `json:"figure"`
+	// Aligned counts the items matched by (figure, label) across the two
+	// archives; OldOnly/NewOnly count the unmatched remainder.
+	Aligned int           `json:"aligned"`
+	OldOnly int           `json:"old_only,omitempty"`
+	NewOnly int           `json:"new_only,omitempty"`
+	Metrics []MetricDelta `json:"metrics"`
+}
+
+// DiffReport is the outcome of comparing two archives.
+type DiffReport struct {
+	Old, New string `json:"-"`
+
+	Figures []FigureDiff `json:"figures"`
+
+	Regressions  int `json:"regressions"`
+	Improvements int `json:"improvements"`
+	Unchanged_   int `json:"unchanged"`
+}
+
+// itemMetrics is the narrow view of a report's JSON the diff needs: the
+// headline loss rate, the fleet nines, the recovery-policy ablation and
+// the observability summary. Decoding is tolerant — absent sections stay
+// nil and simply produce no samples.
+type itemMetrics struct {
+	Faults           int     `json:"faults"`
+	DataLossPerFault float64 `json:"data_loss_per_fault"`
+	Fleet            *struct {
+		AvailabilityNines float64 `json:"availability_nines"`
+		DurabilityNines   float64 `json:"durability_nines"`
+	} `json:"fleet_stats"`
+	TxnPolicies []struct {
+		Policy      string `json:"policy"`
+		LostCommits int64  `json:"lost_commits"`
+		OutOfOrder  int64  `json:"out_of_order"`
+	} `json:"txn_policies"`
+	Obs *obs.Summary `json:"obs"`
+}
+
+// samples maps metric name -> per-item values for one figure of one
+// archive, aligned by item label.
+type samples map[string][]float64
+
+// collect extracts the metric samples of one item record into s.
+func (s samples) collect(rec *ItemRecord) error {
+	var m itemMetrics
+	if err := json.Unmarshal(rec.Report, &m); err != nil {
+		return fmt.Errorf("item %s/%s: %w", rec.Figure, rec.Label, err)
+	}
+	s["loss/fault"] = append(s["loss/fault"], m.DataLossPerFault)
+	if m.Fleet != nil {
+		s["availability-nines"] = append(s["availability-nines"], m.Fleet.AvailabilityNines)
+		s["durability-nines"] = append(s["durability-nines"], m.Fleet.DurabilityNines)
+	}
+	if len(m.TxnPolicies) > 0 {
+		var hole, strict float64
+		for _, p := range m.TxnPolicies {
+			losses := float64(p.LostCommits + p.OutOfOrder)
+			switch p.Policy {
+			case "hole-tolerant":
+				hole = losses
+			case "strict-scan":
+				strict = losses
+			}
+		}
+		s["txn-losses"] = append(s["txn-losses"], hole)
+		s["txn-unreachable"] = append(s["txn-unreachable"], strict-hole)
+	}
+	if m.Obs != nil {
+		for _, h := range m.Obs.Histograms {
+			s["obs:"+h.Name+"/p50"] = append(s["obs:"+h.Name+"/p50"], float64(h.P50))
+			s["obs:"+h.Name+"/p99"] = append(s["obs:"+h.Name+"/p99"], float64(h.P99))
+		}
+	}
+	return nil
+}
+
+// direction classifies a metric name.
+func direction(metric string) Direction {
+	switch metric {
+	case "availability-nines", "durability-nines":
+		return HigherBetter
+	case "loss/fault", "txn-losses", "txn-unreachable":
+		return HigherWorse
+	}
+	if len(metric) > 4 && metric[:4] == "obs:" {
+		// Sim-time duration histograms (…_ns) are latencies: up is worse.
+		// Other histograms (sizes, depths) are informational.
+		base := metric[:len(metric)-4] // strip /p50 or /p99
+		if len(base) > 3 && base[len(base)-3:] == "_ns" {
+			return HigherWorse
+		}
+		return Informational
+	}
+	return Informational
+}
+
+// Diff compares two archives: items are aligned per figure by label (the
+// spec identity a figure point keeps across code versions — the full
+// spec-hash Key is deliberately not required to match, so two commits
+// remain comparable), per-figure metric samples are tested with Welch 95%
+// intervals, and every delta gets a verdict. Figures or items present on
+// only one side are reported but not compared.
+func Diff(old, new *Archive) (*DiffReport, error) {
+	out := &DiffReport{Old: old.Path, New: new.Path}
+
+	type figItems struct {
+		byLabel map[string]*ItemRecord
+		order   []string
+	}
+	index := func(a *Archive) (map[string]*figItems, []string) {
+		figs := map[string]*figItems{}
+		var order []string
+		for i := range a.Items {
+			rec := &a.Items[i]
+			if rec.Error != "" || len(rec.Report) == 0 {
+				continue
+			}
+			fi := figs[rec.Figure]
+			if fi == nil {
+				fi = &figItems{byLabel: map[string]*ItemRecord{}}
+				figs[rec.Figure] = fi
+				order = append(order, rec.Figure)
+			}
+			if _, dup := fi.byLabel[rec.Label]; !dup {
+				fi.order = append(fi.order, rec.Label)
+			}
+			fi.byLabel[rec.Label] = rec
+		}
+		return figs, order
+	}
+	oldFigs, figOrder := index(old)
+	newFigs, newOrder := index(new)
+	// Compare in old-archive figure order; new-only figures are appended
+	// as uncompared stubs.
+	for _, fig := range newOrder {
+		if _, ok := oldFigs[fig]; !ok {
+			figOrder = append(figOrder, fig)
+		}
+	}
+
+	for _, fig := range figOrder {
+		of, nf := oldFigs[fig], newFigs[fig]
+		fd := FigureDiff{Figure: fig}
+		if of == nil || nf == nil {
+			if of != nil {
+				fd.OldOnly = len(of.byLabel)
+			}
+			if nf != nil {
+				fd.NewOnly = len(nf.byLabel)
+			}
+			out.Figures = append(out.Figures, fd)
+			continue
+		}
+		oldS, newS := samples{}, samples{}
+		for _, label := range of.order {
+			orec := of.byLabel[label]
+			nrec, ok := nf.byLabel[label]
+			if !ok {
+				fd.OldOnly++
+				continue
+			}
+			if err := oldS.collect(orec); err != nil {
+				return nil, fmt.Errorf("runstore: %s: %w", old.Path, err)
+			}
+			if err := newS.collect(nrec); err != nil {
+				return nil, fmt.Errorf("runstore: %s: %w", new.Path, err)
+			}
+			fd.Aligned++
+		}
+		for _, label := range nf.order {
+			if _, ok := of.byLabel[label]; !ok {
+				fd.NewOnly++
+			}
+		}
+
+		names := make([]string, 0, len(oldS))
+		for name := range oldS {
+			if _, ok := newS[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		// loss/fault leads; the rest alphabetical.
+		sort.SliceStable(names, func(i, j int) bool {
+			return names[i] == "loss/fault" && names[j] != "loss/fault"
+		})
+		for _, name := range names {
+			md := compare(name, oldS[name], newS[name])
+			switch md.Verdict {
+			case Regressed:
+				out.Regressions++
+			case Improved:
+				out.Improvements++
+			case Unchanged:
+				out.Unchanged_++
+			}
+			fd.Metrics = append(fd.Metrics, md)
+		}
+		out.Figures = append(out.Figures, fd)
+	}
+	return out, nil
+}
+
+// compare runs the Welch test on one metric's sample pair and verdicts
+// the delta.
+func compare(name string, old, new []float64) MetricDelta {
+	md := MetricDelta{
+		Metric:    name,
+		Direction: direction(name),
+		OldN:      len(old),
+		NewN:      len(new),
+	}
+	var lo, hi float64
+	var ok bool
+	md.OldMean, _ = meanVar(old)
+	md.NewMean, _ = meanVar(new)
+	md.Delta, lo, hi, ok = welch(old, new)
+	md.CILo, md.CIHi = lo, hi
+	switch {
+	case !ok:
+		md.Verdict = Indeterminate
+	case lo <= 0 && hi >= 0 && !(md.Delta != 0 && lo == hi):
+		// CI includes zero (the degenerate zero-variance nonzero delta is
+		// excluded: [d,d] with d != 0 is a definite change).
+		md.Verdict = Unchanged
+	default:
+		worse := md.Delta > 0
+		if md.Direction == HigherBetter {
+			worse = !worse
+		}
+		if md.Direction == Informational {
+			// A definite change with no defined bad direction: call it
+			// indeterminate rather than invent a polarity.
+			md.Verdict = Indeterminate
+		} else if worse {
+			md.Verdict = Regressed
+		} else {
+			md.Verdict = Improved
+		}
+	}
+	return md
+}

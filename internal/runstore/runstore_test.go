@@ -1,0 +1,327 @@
+package runstore
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeArchive(t *testing.T, path string, m Manifest, items []ItemRecord, final *Final) {
+	t.Helper()
+	w, err := Create(path, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if err := w.Append(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if final != nil {
+		if err := w.Finalize(*final); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	m := Manifest{
+		Tool: "test", GoVersion: "go1.24", Figure: "fig5", Scale: 0.5, BaseSeed: 7,
+		Items: []ItemSpec{{Index: 0, Figure: "fig5", Label: "x", Seed: 1, Key: "k0"}},
+	}
+	items := []ItemRecord{
+		{Index: 0, Key: "k0", Figure: "fig5", Label: "x", Seed: 1, Report: json.RawMessage(`{"faults":3}`)},
+		{Index: 1, Key: "k1", Figure: "fig5", Label: "y", Seed: 2, Error: "boom"},
+	}
+	final := &Final{Items: 2, Completed: 1, Failed: 1, SimNS: 42, Figures: json.RawMessage(`[{"figure":"fig5"}]`)}
+	writeArchive(t, path, m, items, final)
+
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Manifest.V != FormatVersion || a.Manifest.Tool != "test" || a.Manifest.BaseSeed != 7 {
+		t.Fatalf("manifest = %+v", a.Manifest)
+	}
+	if a.Manifest.Created == "" {
+		t.Fatal("Create did not stamp Created")
+	}
+	if len(a.Items) != 2 {
+		t.Fatalf("items = %d", len(a.Items))
+	}
+	if got := a.Lookup("k0"); got == nil || string(got.Report) != `{"faults":3}` {
+		t.Fatalf("Lookup(k0) = %+v", got)
+	}
+	if got := a.Lookup("k1"); got == nil || got.Error != "boom" {
+		t.Fatalf("Lookup(k1) = %+v", got)
+	}
+	if a.Lookup("nope") != nil {
+		t.Fatal("Lookup of unknown key not nil")
+	}
+	// Errored items do not count as completed.
+	if got := a.Completed(); got != 1 {
+		t.Fatalf("Completed = %d, want 1", got)
+	}
+	if a.Final == nil || a.Final.SimNS != 42 || a.Final.Failed != 1 {
+		t.Fatalf("final = %+v", a.Final)
+	}
+}
+
+// TestArchiveTornTail: a crash mid-append leaves a partial last line; Open
+// keeps every whole record and drops only the torn tail.
+func TestArchiveTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	writeArchive(t, path, Manifest{Tool: "test"}, []ItemRecord{
+		{Key: "k0", Report: json.RawMessage(`{"faults":1}`)},
+	}, nil)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"item","item":{"key":"k1","repor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	a, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if a.Completed() != 1 || a.Lookup("k1") != nil {
+		t.Fatalf("torn archive = %d completed, k1=%v", a.Completed(), a.Lookup("k1"))
+	}
+
+	// A malformed line that is NOT the tail is corruption, not tolerance.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, append([]byte("garbage\n"), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("mid-file garbage accepted")
+	}
+}
+
+// TestArchiveLaterRecordShadows: re-journaling on resume appends a second
+// record for the same key; the later one wins in Lookup.
+func TestArchiveLaterRecordShadows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.jsonl")
+	writeArchive(t, path, Manifest{Tool: "test"}, []ItemRecord{
+		{Key: "k0", Report: json.RawMessage(`{"faults":1}`)},
+		{Key: "k0", Report: json.RawMessage(`{"faults":2}`)},
+	}, nil)
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Lookup("k0"); string(got.Report) != `{"faults":2}` {
+		t.Fatalf("Lookup(k0) = %s, want the later record", got.Report)
+	}
+}
+
+func TestOpenRejections(t *testing.T) {
+	dir := t.TempDir()
+
+	notArchive := filepath.Join(dir, "not.jsonl")
+	os.WriteFile(notArchive, []byte(`{"kind":"item","item":{"key":"k"}}`+"\n"), 0o644)
+	if _, err := Open(notArchive); err == nil || !strings.Contains(err.Error(), "no manifest") {
+		t.Fatalf("no-manifest error = %v", err)
+	}
+
+	future := filepath.Join(dir, "future.jsonl")
+	os.WriteFile(future, []byte(`{"kind":"manifest","manifest":{"v":99}}`+"\n"), 0o644)
+	if _, err := Open(future); err == nil || !strings.Contains(err.Error(), "newer") {
+		t.Fatalf("future-version error = %v", err)
+	}
+
+	if _, err := Open(filepath.Join(dir, "missing.jsonl")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWelch(t *testing.T) {
+	// Degenerate: fewer than two samples a side. Zero delta is still an
+	// exact answer; nonzero is not estimable.
+	if d, lo, hi, ok := welch([]float64{3}, []float64{3}); d != 0 || lo != 0 || hi != 0 || !ok {
+		t.Fatalf("n=1 equal: %g [%g,%g] %v", d, lo, hi, ok)
+	}
+	if d, _, _, ok := welch([]float64{3}, []float64{5}); d != 2 || ok {
+		t.Fatalf("n=1 unequal: %g ok=%v, want not-ok point delta", d, ok)
+	}
+	// Zero variance both sides: exact interval.
+	if d, lo, hi, ok := welch([]float64{1, 1, 1}, []float64{4, 4, 4}); d != 3 || lo != 3 || hi != 3 || !ok {
+		t.Fatalf("zero-variance: %g [%g,%g] %v", d, lo, hi, ok)
+	}
+	// A clear separation: CI excludes zero and contains the true delta.
+	old := []float64{10, 11, 9, 10.5}
+	new := []float64{20, 21, 19, 20.5}
+	d, lo, hi, ok := welch(old, new)
+	if !ok || math.Abs(d-10) > 1e-9 {
+		t.Fatalf("separated: delta %g ok=%v", d, ok)
+	}
+	if lo <= 0 || lo > d || hi < d {
+		t.Fatalf("separated CI [%g, %g] around %g", lo, hi, d)
+	}
+	// Heavy overlap: CI straddles zero.
+	if _, lo, hi, ok := welch([]float64{1, 2, 3, 4}, []float64{2, 3, 1, 4.5}); !ok || lo > 0 || hi < 0 {
+		t.Fatalf("overlap CI [%g, %g]", lo, hi)
+	}
+}
+
+func TestTQuantile975(t *testing.T) {
+	if got := tQuantile975(1); got != 12.706 {
+		t.Fatalf("df=1: %g", got)
+	}
+	if got := tQuantile975(30); got != 2.042 {
+		t.Fatalf("df=30: %g", got)
+	}
+	// Interpolated values sit between the bracketing table entries.
+	if got := tQuantile975(4.5); got <= t975Table[4] || got >= t975Table[3] {
+		t.Fatalf("df=4.5: %g not in (%g, %g)", got, t975Table[4], t975Table[3])
+	}
+	// Monotone decreasing toward the normal quantile.
+	prev := math.Inf(1)
+	for _, df := range []float64{1, 2, 5, 10, 30, 60, 120, 1e6} {
+		got := tQuantile975(df)
+		if got >= prev {
+			t.Fatalf("tQuantile975 not decreasing at df=%g: %g >= %g", df, got, prev)
+		}
+		prev = got
+	}
+	if got := tQuantile975(1e9); math.Abs(got-1.959963984540054) > 1e-6 {
+		t.Fatalf("df→∞: %g", got)
+	}
+}
+
+// diffArchive builds an on-disk archive whose items carry fabricated
+// report JSON, for direction/verdict tests.
+func diffArchive(t *testing.T, dir, name string, reports map[string]string) *Archive {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	var items []ItemRecord
+	for label, rep := range reports {
+		items = append(items, ItemRecord{Key: name + "/" + label, Figure: "f", Label: label,
+			Report: json.RawMessage(rep)})
+	}
+	writeArchive(t, path, Manifest{Tool: "test"}, items, nil)
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func findMetric(t *testing.T, d *DiffReport, name string) MetricDelta {
+	t.Helper()
+	for _, fd := range d.Figures {
+		for _, md := range fd.Metrics {
+			if md.Metric == name {
+				return md
+			}
+		}
+	}
+	t.Fatalf("metric %s not in diff", name)
+	return MetricDelta{}
+}
+
+// TestDiffDirections: loss rates regress upward, nines regress downward,
+// and non-duration obs histograms never produce a verdict.
+func TestDiffDirections(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(loss, nines float64, depth int) string {
+		b, _ := json.Marshal(map[string]any{
+			"faults":              4,
+			"data_loss_per_fault": loss,
+			"fleet_stats":         map[string]any{"availability_nines": nines, "durability_nines": nines},
+			"obs": map[string]any{
+				"histograms": []map[string]any{
+					{"name": "blockdev.queue_depth", "count": 1, "p50": depth, "p99": depth},
+					{"name": "blockdev.write_latency_ns", "count": 1, "p50": depth * 100, "p99": depth * 100},
+				},
+			},
+		})
+		return string(b)
+	}
+	old := diffArchive(t, dir, "old", map[string]string{
+		"a": mk(1.0, 5.0, 10), "b": mk(1.2, 5.1, 11), "c": mk(0.9, 4.9, 9),
+	})
+	// Losses way up, nines way down, depths way up.
+	new := diffArchive(t, dir, "new", map[string]string{
+		"a": mk(9.0, 2.0, 100), "b": mk(9.2, 2.1, 110), "c": mk(8.9, 1.9, 90),
+	})
+
+	d, err := Diff(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := findMetric(t, d, "loss/fault"); md.Verdict != Regressed || md.Delta <= 0 {
+		t.Fatalf("loss/fault: %+v", md)
+	}
+	if md := findMetric(t, d, "availability-nines"); md.Verdict != Regressed || md.Delta >= 0 {
+		t.Fatalf("availability-nines: %+v", md)
+	}
+	if md := findMetric(t, d, "obs:blockdev.queue_depth/p50"); md.Verdict != Indeterminate {
+		t.Fatalf("informational histogram verdicted: %+v", md)
+	}
+	if md := findMetric(t, d, "obs:blockdev.write_latency_ns/p99"); md.Verdict != Regressed {
+		t.Fatalf("latency histogram: %+v", md)
+	}
+	if d.Regressions == 0 || d.Improvements != 0 {
+		t.Fatalf("totals: %+v", d)
+	}
+
+	// The reverse comparison improves instead.
+	rev, err := Diff(new, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if md := findMetric(t, rev, "loss/fault"); md.Verdict != Improved {
+		t.Fatalf("reverse loss/fault: %+v", md)
+	}
+	if md := findMetric(t, rev, "availability-nines"); md.Verdict != Improved {
+		t.Fatalf("reverse availability-nines: %+v", md)
+	}
+}
+
+// TestDiffAlignment: unmatched labels and figures are counted, not
+// compared; errored items are excluded entirely.
+func TestDiffAlignment(t *testing.T) {
+	dir := t.TempDir()
+	old := diffArchive(t, dir, "old", map[string]string{
+		"a": `{"faults":1,"data_loss_per_fault":1}`,
+		"b": `{"faults":1,"data_loss_per_fault":2}`,
+	})
+	path := filepath.Join(dir, "new")
+	writeArchive(t, path, Manifest{Tool: "test"}, []ItemRecord{
+		{Key: "n/a", Figure: "f", Label: "a", Report: json.RawMessage(`{"faults":1,"data_loss_per_fault":1}`)},
+		{Key: "n/c", Figure: "f", Label: "c", Report: json.RawMessage(`{"faults":1,"data_loss_per_fault":3}`)},
+		{Key: "n/err", Figure: "f", Label: "err", Error: "boom"},
+		{Key: "n/g", Figure: "g", Label: "a", Report: json.RawMessage(`{"faults":1,"data_loss_per_fault":1}`)},
+	}, nil)
+	new, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d, err := Diff(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Figures) != 2 {
+		t.Fatalf("figures: %+v", d.Figures)
+	}
+	f := d.Figures[0]
+	if f.Figure != "f" || f.Aligned != 1 || f.OldOnly != 1 || f.NewOnly != 1 {
+		t.Fatalf("figure f alignment: %+v", f)
+	}
+	g := d.Figures[1]
+	if g.Figure != "g" || g.Aligned != 0 || g.NewOnly != 1 || len(g.Metrics) != 0 {
+		t.Fatalf("new-only figure: %+v", g)
+	}
+}

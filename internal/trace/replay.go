@@ -34,6 +34,19 @@ func (m Mode) String() string {
 // MarshalJSON renders the mode by name.
 func (m Mode) MarshalJSON() ([]byte, error) { return []byte(`"` + m.String() + `"`), nil }
 
+// UnmarshalJSON parses a mode name.
+func (m *Mode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"closed"`:
+		*m = ClosedLoop
+	case `"open"`:
+		*m = OpenLoop
+	default:
+		return fmt.Errorf("trace: unknown replay mode %s", b)
+	}
+	return nil
+}
+
 // Config selects a parsed trace and its replay pacing.
 type Config struct {
 	// Trace is the parsed trace to replay (required).
@@ -80,6 +93,24 @@ func (c Config) MarshalJSON() ([]byte, error) {
 		Mode      Mode    `json:"mode"`
 		TimeScale float64 `json:"time_scale,omitempty"`
 	}{name, n, c.Mode, c.TimeScale})
+}
+
+// UnmarshalJSON decodes the compact summary MarshalJSON writes. Only the
+// pacing fields are restored — the trace records themselves are never in
+// JSON — so a decoded Config describes a replay but cannot re-run one
+// (Trace stays nil; Validate rejects it).
+func (c *Config) UnmarshalJSON(b []byte) error {
+	var s struct {
+		Mode      Mode    `json:"mode"`
+		TimeScale float64 `json:"time_scale"`
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	c.Trace = nil
+	c.Mode = s.Mode
+	c.TimeScale = s.TimeScale
+	return nil
 }
 
 // Stats describes one replay run.

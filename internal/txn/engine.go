@@ -47,6 +47,22 @@ func (b Barrier) String() string {
 // MarshalJSON renders the barrier by name.
 func (b Barrier) MarshalJSON() ([]byte, error) { return []byte(`"` + b.String() + `"`), nil }
 
+// UnmarshalJSON parses a barrier name, so marshaled configs (run
+// archives, report JSON) decode back into typed values.
+func (b *Barrier) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"flush"`:
+		*b = FlushPerCommit
+	case `"group"`:
+		*b = GroupCommit
+	case `"noflush"`:
+		*b = NoFlush
+	default:
+		return fmt.Errorf("txn: unknown barrier %s", data)
+	}
+	return nil
+}
+
 // MaxStreams bounds the stream count (the log region must still hold a
 // useful partition per stream).
 const MaxStreams = 64

@@ -88,6 +88,19 @@ func (p RecoveryPolicy) String() string {
 // MarshalJSON renders the policy by name.
 func (p RecoveryPolicy) MarshalJSON() ([]byte, error) { return []byte(`"` + p.String() + `"`), nil }
 
+// UnmarshalJSON parses a policy name.
+func (p *RecoveryPolicy) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"hole-tolerant"`:
+		*p = HoleTolerant
+	case `"strict-scan"`:
+		*p = StrictScan
+	default:
+		return fmt.Errorf("txn: unknown recovery policy %s", data)
+	}
+	return nil
+}
+
 // Stats aggregates the engine and oracle counters across an experiment.
 // The verdict fields (Evaluated through ScanPages) are those of one
 // recovery policy — the Policy field names it; Engine.StatsFor returns

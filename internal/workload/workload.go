@@ -51,6 +51,20 @@ func (p Pattern) String() string {
 // MarshalJSON renders the pattern by name.
 func (p Pattern) MarshalJSON() ([]byte, error) { return []byte(`"` + p.String() + `"`), nil }
 
+// UnmarshalJSON parses a pattern name, so marshaled specs (run archives,
+// report JSON) decode back into typed values.
+func (p *Pattern) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"random"`:
+		*p = Random
+	case `"sequential"`:
+		*p = Sequential
+	default:
+		return fmt.Errorf("workload: unknown pattern %s", b)
+	}
+	return nil
+}
+
 // SeqMode selects the paper's access-sequence experiments: pairs of
 // requests where the second targets the address of the first.
 type SeqMode int
@@ -82,6 +96,25 @@ func (m SeqMode) String() string {
 
 // MarshalJSON renders the sequence mode by name.
 func (m SeqMode) MarshalJSON() ([]byte, error) { return []byte(`"` + m.String() + `"`), nil }
+
+// UnmarshalJSON parses a sequence-mode name.
+func (m *SeqMode) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"none"`:
+		*m = SeqNone
+	case `"RAR"`:
+		*m = RAR
+	case `"RAW"`:
+		*m = RAW
+	case `"WAR"`:
+		*m = WAR
+	case `"WAW"`:
+		*m = WAW
+	default:
+		return fmt.Errorf("workload: unknown sequence mode %s", b)
+	}
+	return nil
+}
 
 // ops returns the pair (first, second) for a sequence mode. The name
 // reads "X after Y": Y is issued first, then X on the same address.

@@ -1,0 +1,71 @@
+package powerfail
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"powerfail/internal/runstore"
+)
+
+// Run-archive types, re-exported so campaign journaling (WithJournal,
+// WithResume) and the powerstat comparison surface on the public API.
+type (
+	// RunManifest is a run archive's header: what produced it and the
+	// identity of every item it set out to run.
+	RunManifest = runstore.Manifest
+	// RunArchive is a loaded run archive (see OpenRunArchive).
+	RunArchive = runstore.Archive
+	// RunDiff is the differential report between two run archives.
+	RunDiff = runstore.DiffReport
+)
+
+// NewRunManifest builds a manifest header for WithJournal: tool name,
+// figure id and scale, plus the Go version and VCS revision of the
+// running binary (best effort). The campaign fills the item list.
+func NewRunManifest(tool, figure string, scale float64) RunManifest {
+	m := RunManifest{Tool: tool, Figure: figure, Scale: scale, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				m.VCSRevision = s.Value
+			case "vcs.time":
+				m.VCSTime = s.Value
+			}
+		}
+	}
+	return m
+}
+
+// OpenRunArchive loads the run archive at path (for WithResume or
+// DiffRunArchives). Archives interrupted mid-run load fine: they simply
+// have no final record.
+func OpenRunArchive(path string) (*RunArchive, error) { return runstore.Open(path) }
+
+// DiffRunArchives compares two run archives benchstat-style: items are
+// aligned by (figure, label), per-figure metrics get Welch 95% intervals
+// and a regressed/improved/unchanged verdict. cmd/powerstat prints the
+// result.
+func DiffRunArchives(old, new *RunArchive) (*RunDiff, error) { return runstore.Diff(old, new) }
+
+// ItemKey returns a catalog item's spec identity: a content hash over its
+// figure, label, x value, options and experiment spec (seed included).
+// Campaign resume reuses a journaled report only when this key matches,
+// so any change to what an item would run — seed, knobs, spec — makes it
+// re-run rather than resume.
+func ItemKey(it CatalogItem) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00%g\x00", it.Figure, it.Label, it.X)
+	enc := json.NewEncoder(h)
+	// Encode errors (unmarshalable options cannot occur for plain-data
+	// specs) would at worst widen the key to figure/label identity, which
+	// only means such an item re-runs instead of resuming.
+	_ = enc.Encode(it.Opts)
+	_ = enc.Encode(it.Spec)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

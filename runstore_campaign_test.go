@@ -1,0 +1,336 @@
+package powerfail_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"powerfail"
+)
+
+// campaignJSON marshals a campaign result the way cmd/sweep -json does,
+// with the nondeterministic wall time zeroed so runs compare byte for
+// byte.
+func campaignJSON(t *testing.T, out *powerfail.CampaignResult) string {
+	t.Helper()
+	out.WallTime = 0
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestCampaignJournalArchive: a journaled campaign leaves a complete
+// archive — manifest with every item's identity, one record per item,
+// and a final record whose aggregates match the returned result.
+func TestCampaignJournalArchive(t *testing.T) {
+	items := obsItems(t, "seqrand", 0.02, 0)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+
+	out, err := powerfail.NewCampaign(items,
+		powerfail.WithJournal(path, powerfail.NewRunManifest("test", "seqrand", 0.02)),
+	).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arch, err := powerfail.OpenRunArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(arch.Manifest.Items), len(items); got != want {
+		t.Fatalf("manifest items = %d, want %d", got, want)
+	}
+	for i, spec := range arch.Manifest.Items {
+		if want := powerfail.ItemKey(items[i]); spec.Key != want {
+			t.Fatalf("item %d key = %q, want %q", i, spec.Key, want)
+		}
+		if spec.Figure != items[i].Figure || spec.Label != items[i].Label {
+			t.Fatalf("item %d identity = %s/%s", i, spec.Figure, spec.Label)
+		}
+	}
+	if got := arch.Completed(); got != out.Completed {
+		t.Fatalf("archive completed = %d, want %d", got, out.Completed)
+	}
+	if arch.Final == nil {
+		t.Fatal("completed run has no final record")
+	}
+	if arch.Final.Items != out.Items || arch.Final.Completed != out.Completed {
+		t.Fatalf("final totals = %+v, want %d/%d", arch.Final, out.Items, out.Completed)
+	}
+	wantFigs, err := json.Marshal(out.Figures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(arch.Final.Figures) != string(wantFigs) {
+		t.Fatalf("final figures JSON differs from the campaign's:\n%s\nvs\n%s",
+			arch.Final.Figures, wantFigs)
+	}
+}
+
+// TestCampaignResumeByteIdentical is the acceptance criterion: interrupt
+// a journaled campaign mid-run via context cancel, resume from the
+// archive, and the final campaign JSON is byte-identical to an
+// uninterrupted run — at parallelism 1 and 8.
+func TestCampaignResumeByteIdentical(t *testing.T) {
+	for _, parallelism := range []int{1, 8} {
+		t.Run(fmt.Sprintf("parallel=%d", parallelism), func(t *testing.T) {
+			items := obsItems(t, "fig5", 0.02, 0) // 5 items, obs on: summaries ride the archive too
+			path := filepath.Join(t.TempDir(), "run.jsonl")
+
+			full, err := powerfail.NewCampaign(items,
+				powerfail.WithParallelism(parallelism),
+			).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := campaignJSON(t, full)
+
+			// Interrupt after two completions: the journal keeps exactly the
+			// completed subset, with no final record.
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var mu sync.Mutex
+			done := 0
+			interrupted, err := powerfail.NewCampaign(items,
+				powerfail.WithParallelism(parallelism),
+				powerfail.WithJournal(path, powerfail.NewRunManifest("test", "fig5", 0.02)),
+				powerfail.WithProgress(func(res powerfail.CatalogResult) {
+					mu.Lock()
+					defer mu.Unlock()
+					if res.Err == nil {
+						done++
+						if done == 2 {
+							cancel()
+						}
+					}
+				}),
+			).Run(ctx)
+			if err == nil {
+				t.Fatal("interrupted run returned nil error")
+			}
+			if interrupted.Completed >= len(items) {
+				t.Skipf("campaign finished before the cancel landed (%d items)", interrupted.Completed)
+			}
+
+			arch, err := powerfail.OpenRunArchive(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if arch.Final != nil {
+				t.Fatal("interrupted archive has a final record")
+			}
+			if got := arch.Completed(); got == 0 || got != interrupted.Completed {
+				t.Fatalf("archive completed = %d, campaign says %d", got, interrupted.Completed)
+			}
+
+			// Resume, re-journaling over the same file like sweep -resume.
+			resumed, err := powerfail.NewCampaign(items,
+				powerfail.WithParallelism(parallelism),
+				powerfail.WithResume(arch),
+				powerfail.WithJournal(path, powerfail.NewRunManifest("test", "fig5", 0.02)),
+			).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused := 0
+			for _, res := range resumed.Results {
+				if res.Reused {
+					reused++
+				}
+			}
+			if reused != arch.Completed() {
+				t.Fatalf("reused %d items, archive had %d", reused, arch.Completed())
+			}
+			if got := campaignJSON(t, resumed); got != want {
+				t.Fatalf("resumed campaign JSON differs from uninterrupted run\nresumed %d bytes, want %d",
+					len(got), len(want))
+			}
+
+			// The re-journaled archive is now complete and resumable to a
+			// fully-cached run that still matches byte for byte.
+			arch2, err := powerfail.OpenRunArchive(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if arch2.Final == nil || arch2.Completed() != len(items) {
+				t.Fatalf("resumed archive incomplete: final=%v completed=%d", arch2.Final, arch2.Completed())
+			}
+			cached, err := powerfail.NewCampaign(items,
+				powerfail.WithParallelism(parallelism),
+				powerfail.WithResume(arch2),
+			).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := campaignJSON(t, cached); got != want {
+				t.Fatal("fully-cached resume differs from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestCampaignResumeRespectsItemKey: a resumed item whose spec changed
+// (different seed) re-runs instead of reusing the stale report.
+func TestCampaignResumeRespectsItemKey(t *testing.T) {
+	items := smallItems(t, "seqrand", 0.02)
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if _, err := powerfail.NewCampaign(items,
+		powerfail.WithJournal(path, powerfail.RunManifest{}),
+	).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	arch, err := powerfail.OpenRunArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	changed := make([]powerfail.CatalogItem, len(items))
+	copy(changed, items)
+	changed[0].Opts.Seed += 1000
+	out, err := powerfail.NewCampaign(changed, powerfail.WithResume(arch)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Reused {
+		t.Fatal("item with changed seed reused a stale archived report")
+	}
+	for i := 1; i < len(out.Results); i++ {
+		if !out.Results[i].Reused {
+			t.Fatalf("unchanged item %d was not reused", i)
+		}
+	}
+}
+
+// journalCampaign runs items journaled to a fresh archive and returns it
+// loaded.
+func journalCampaign(t *testing.T, items []powerfail.CatalogItem, name string) *powerfail.RunArchive {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if _, err := powerfail.NewCampaign(items,
+		powerfail.WithParallelism(4),
+		powerfail.WithJournal(path, powerfail.RunManifest{}),
+	).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	arch, err := powerfail.OpenRunArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arch
+}
+
+// TestRunDiffSameSeedsNoRegressions is the acceptance criterion: two
+// archives of the same campaign compare as all-unchanged — zero
+// regressions, zero improvements, exact zero deltas.
+func TestRunDiffSameSeedsNoRegressions(t *testing.T) {
+	items := smallItems(t, "fig5", 0.02)
+	old := journalCampaign(t, items, "old.jsonl")
+	new_ := journalCampaign(t, items, "new.jsonl")
+
+	diff, err := powerfail.DiffRunArchives(old, new_)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff.Regressions != 0 || diff.Improvements != 0 {
+		t.Fatalf("same-seed diff: %d regressions, %d improvements", diff.Regressions, diff.Improvements)
+	}
+	if len(diff.Figures) != 1 || diff.Figures[0].Aligned != len(items) {
+		t.Fatalf("alignment: %+v", diff.Figures)
+	}
+	for _, md := range diff.Figures[0].Metrics {
+		// Identical seeds give identical samples: exact zero delta. The CI
+		// still has width from cross-label variance but must contain zero.
+		if md.Delta != 0 || md.OldMean != md.NewMean {
+			t.Fatalf("metric %s: delta %g (means %g/%g), want exact zero", md.Metric, md.Delta, md.OldMean, md.NewMean)
+		}
+		if md.Verdict != "unchanged" {
+			t.Fatalf("metric %s: verdict %s, want unchanged", md.Metric, md.Verdict)
+		}
+	}
+}
+
+// plpItems builds a small figure of identically-labelled points whose
+// only difference across the two archives is supercapacitor power-loss
+// protection — the canonical known-delta pair.
+func plpItems(supercap bool) []powerfail.CatalogItem {
+	var items []powerfail.CatalogItem
+	for i := 0; i < 4; i++ {
+		prof := powerfail.ProfileA()
+		prof.CapacityGB = 8
+		if supercap {
+			prof = prof.WithSuperCap()
+		}
+		w := powerfail.DefaultWorkload()
+		w.WSSBytes = 1 << 30
+		items = append(items, powerfail.CatalogItem{
+			Figure: "plp",
+			Label:  fmt.Sprintf("seed%d", i),
+			X:      float64(i),
+			Opts:   powerfail.Options{Seed: uint64(40 + i), Profile: prof},
+			Spec: powerfail.Experiment{
+				Name:             "plp",
+				Workload:         w,
+				Faults:           8,
+				RequestsPerFault: 12,
+			},
+		})
+	}
+	return items
+}
+
+// TestRunDiffKnownDelta is the acceptance criterion: comparing a
+// PLP-off archive against a PLP-on archive flags the loss-rate change
+// with a confidence interval excluding zero — improved in the off→on
+// direction, regressed in the on→off direction.
+func TestRunDiffKnownDelta(t *testing.T) {
+	off := journalCampaign(t, plpItems(false), "off.jsonl")
+	on := journalCampaign(t, plpItems(true), "on.jsonl")
+
+	find := func(d *powerfail.RunDiff) (delta, lo, hi float64, verdict string) {
+		t.Helper()
+		for _, fd := range d.Figures {
+			for _, md := range fd.Metrics {
+				if md.Metric == "loss/fault" {
+					return md.Delta, md.CILo, md.CIHi, string(md.Verdict)
+				}
+			}
+		}
+		t.Fatal("no loss/fault metric in diff")
+		return 0, 0, 0, ""
+	}
+
+	fwd, err := powerfail.DiffRunArchives(off, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, lo, hi, verdict := find(fwd)
+	if delta >= 0 || verdict != "improved" {
+		t.Fatalf("off→on loss/fault: delta %g verdict %s, want negative improvement", delta, verdict)
+	}
+	if lo <= 0 && hi >= 0 {
+		t.Fatalf("off→on CI [%g, %g] does not exclude zero", lo, hi)
+	}
+	if fwd.Improvements == 0 {
+		t.Fatalf("off→on reported no improvements: %+v", fwd)
+	}
+
+	rev, err := powerfail.DiffRunArchives(on, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, lo, hi, verdict = find(rev)
+	if delta <= 0 || verdict != "regressed" {
+		t.Fatalf("on→off loss/fault: delta %g verdict %s, want positive regression", delta, verdict)
+	}
+	if lo <= 0 && hi >= 0 {
+		t.Fatalf("on→off CI [%g, %g] does not exclude zero", lo, hi)
+	}
+	if rev.Regressions == 0 {
+		t.Fatalf("on→off reported no regressions: %+v", rev)
+	}
+}
