@@ -84,6 +84,32 @@ func benchSpec(mutate func(*powerfail.Experiment)) powerfail.Experiment {
 	return spec
 }
 
+// BenchmarkExperimentAllocs times one small single-SSD fault-injection
+// experiment per iteration with allocation reporting. allocs/op tracks
+// the whole experiment — platform construction, event loop, content
+// generation and verification — so it catches allocation regressions
+// anywhere in the pipeline, while the kernel and blockdev benchmarks
+// isolate the zero-alloc hot paths themselves.
+func BenchmarkExperimentAllocs(b *testing.B) {
+	opts := benchOpts()
+	spec := benchSpec(nil)
+	var faults int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = uint64(i + 1)
+		rep, err := powerfail.Run(opts, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		faults += rep.Faults
+	}
+	b.StopTimer()
+	if faults > 0 {
+		b.ReportMetric(float64(faults)/b.Elapsed().Seconds(), "faultcycles/s")
+	}
+}
+
 // BenchmarkTableISSDProfiles regenerates Table I behaviour: the base
 // workload against each drive model.
 func BenchmarkTableISSDProfiles(b *testing.B) {

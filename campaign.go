@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
@@ -43,6 +44,8 @@ type campaignConfig struct {
 	journalPath string
 	manifest    runstore.Manifest
 	resume      *runstore.Archive
+	shard       int
+	shardCount  int
 }
 
 // CampaignOption configures a Campaign.
@@ -86,6 +89,20 @@ func WithFailFast() CampaignOption {
 // valid, resumable archive holding every item that had finished.
 func WithJournal(path string, m RunManifest) CampaignOption {
 	return func(c *campaignConfig) { c.journalPath, c.manifest = path, m }
+}
+
+// WithShard restricts the campaign to the items whose global index is
+// congruent to shard modulo count (0 ≤ shard < count). Every shard sees
+// the full item list — indices, derived seeds and item keys are those of
+// the unsharded campaign — and executes a disjoint subset of it, so N
+// journaled shard runs together produce exactly the item records an
+// unsharded journaled run would. Merging the N archives
+// (MergeRunArchives) and resuming a full campaign from the merge
+// reproduces the unsharded output byte for byte. A count of zero (the
+// default) disables sharding; shards past the item count simply run
+// zero items and journal an empty, valid archive.
+func WithShard(shard, count int) CampaignOption {
+	return func(c *campaignConfig) { c.shard, c.shardCount = shard, count }
 }
 
 // WithResume reuses the journaled reports of a prior run loaded from a:
@@ -225,6 +242,23 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	}
 	start := time.Now()
 
+	if c.cfg.shardCount > 0 && (c.cfg.shard < 0 || c.cfg.shard >= c.cfg.shardCount) {
+		return nil, fmt.Errorf("powerfail: shard %d out of range for count %d", c.cfg.shard, c.cfg.shardCount)
+	}
+	// sel holds the global indices this run executes: everything, or the
+	// shard's congruence class. Global indices keep seeds, keys and
+	// journal records identical to the unsharded campaign's.
+	sel := make([]int, 0, len(c.items))
+	for i := range c.items {
+		if c.cfg.shardCount <= 1 || i%c.cfg.shardCount == c.cfg.shard {
+			sel = append(sel, i)
+		}
+	}
+	pos := make([]int, len(c.items)) // global index → position in sel/Results
+	for p, gi := range sel {
+		pos[gi] = p
+	}
+
 	// Item keys are needed for both journaling (manifest + records) and
 	// resume lookup; computed once, outside the workers.
 	var keys []string
@@ -243,6 +277,11 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 		if c.cfg.reseed {
 			m.BaseSeed = c.cfg.baseSeed
 		}
+		if c.cfg.shardCount > 0 {
+			m.Shard, m.ShardCount = c.cfg.shard, c.cfg.shardCount
+		}
+		// The manifest always lists the full campaign — a shard archive
+		// documents which subset of it the shard executed.
 		m.Items = make([]runstore.ItemSpec, len(c.items))
 		for i, it := range c.items {
 			m.Items[i] = runstore.ItemSpec{
@@ -261,8 +300,8 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(c.items) {
-		workers = len(c.items)
+	if workers > len(sel) {
+		workers = len(sel)
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -304,7 +343,7 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	}
 	go func() {
 		defer close(idxCh)
-		for i := range c.items {
+		for _, i := range sel {
 			idxCh <- i
 		}
 	}()
@@ -314,12 +353,12 @@ func (c *Campaign) Run(ctx context.Context) (*CampaignResult, error) {
 	}()
 
 	out := &CampaignResult{
-		Results: make([]CatalogResult, len(c.items)),
-		Items:   len(c.items),
+		Results: make([]CatalogResult, len(sel)),
+		Items:   len(sel),
 	}
 	var firstErr error
 	for r := range resCh {
-		out.Results[r.idx] = r.res
+		out.Results[pos[r.idx]] = r.res
 		if r.res.Err != nil && firstErr == nil && !isCancellation(r.res.Err) {
 			firstErr = r.res.Err
 			if c.cfg.failFast {

@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+// TestParseBenchmemLine: -benchmem result lines carry B/op and allocs/op
+// alongside ns/op and custom metrics; all of them land in the document so
+// CI baselines track allocation regressions, not just time.
+func TestParseBenchmemLine(t *testing.T) {
+	name, iters, metrics, ok := parseBenchLine(
+		"BenchmarkQueueSubmitComplete-8   \t 2000\t       120.8 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("benchmem line did not parse")
+	}
+	if name != "BenchmarkQueueSubmitComplete" {
+		t.Fatalf("name = %q (GOMAXPROCS suffix must be stripped)", name)
+	}
+	if iters != 2000 {
+		t.Fatalf("iters = %d", iters)
+	}
+	for unit, want := range map[string]float64{"ns/op": 120.8, "B/op": 0, "allocs/op": 0} {
+		got, present := metrics[unit]
+		if !present || got != want {
+			t.Fatalf("metrics[%q] = %v (present=%v), want %v", unit, got, present, want)
+		}
+	}
+}
+
+// TestParseCustomMetrics: b.ReportMetric units ride the same line.
+func TestParseCustomMetrics(t *testing.T) {
+	_, _, metrics, ok := parseBenchLine(
+		"BenchmarkFleetCampaign-8   3\t 400000000 ns/op\t 2500000 events/s\t 120 B/op\t 2 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if metrics["events/s"] != 2.5e6 || metrics["allocs/op"] != 2 {
+		t.Fatalf("metrics = %v", metrics)
+	}
+}
+
+// TestParseRejectsNonBench: table rows and prose never parse as results.
+func TestParseRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"ok  	powerfail	2.189s",
+		"| point | faults |",
+		"BenchmarkBroken-8 notanumber 12 ns/op",
+	} {
+		if _, _, _, ok := parseBenchLine(line); ok {
+			t.Fatalf("line parsed as benchmark: %q", line)
+		}
+	}
+}

@@ -59,6 +59,18 @@
 // items; -resume re-uses them byte-for-byte and the final output is
 // identical to an uninterrupted run. -resume re-journals to the same
 // file unless -journal names a different one.
+//
+// Sharded campaigns split one figure across machines (or CI jobs): each
+// shard runs the items whose index ≡ i (mod n) with the seeds and item
+// keys of the full campaign, and -merge re-aggregates the shard archives
+// into output byte-identical to the unsharded run:
+//
+//	sweep -figure fleet -shard 0/2 -journal s0.run   # half the items
+//	sweep -figure fleet -shard 1/2 -journal s1.run   # the other half
+//	sweep -figure fleet -merge s0.run,s1.run -json   # == unsharded -json
+//
+// -merge must repeat the shard runs' -figure/-scale/-obs flags (item keys
+// hash the full item spec); items missing from every shard run locally.
 package main
 
 import (
@@ -71,6 +83,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"powerfail"
@@ -95,6 +108,8 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	journal := flag.String("journal", "", "journal the campaign to this run archive (resumable, powerstat-comparable)")
 	resume := flag.String("resume", "", "resume from this run archive: journaled items are reused, not re-run")
+	shardSpec := flag.String("shard", "", "run only shard i/n of the item list (format i/n); requires -journal")
+	mergeSpec := flag.String("merge", "", "comma-separated shard archives to merge and re-aggregate (repeat the shards' -figure/-scale/-obs flags)")
 	listen := flag.String("listen", "", "serve live telemetry on this address (/metrics OpenMetrics + /debug/pprof)")
 	flag.Parse()
 
@@ -238,6 +253,46 @@ func main() {
 					res.Item.Figure, res.Item.Label, time.Since(start).Seconds())
 			}
 		}),
+	}
+	if *shardSpec != "" {
+		if *mergeSpec != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -shard and -merge are mutually exclusive")
+			os.Exit(2)
+		}
+		if *journal == "" {
+			fmt.Fprintln(os.Stderr, "sweep: -shard requires -journal (the shard's output is its archive)")
+			os.Exit(2)
+		}
+		var si, sn int
+		if n, err := fmt.Sscanf(*shardSpec, "%d/%d", &si, &sn); n != 2 || err != nil || sn <= 0 || si < 0 || si >= sn {
+			fmt.Fprintf(os.Stderr, "sweep: -shard %q: want i/n with 0 <= i < n\n", *shardSpec)
+			os.Exit(2)
+		}
+		copts = append(copts, powerfail.WithShard(si, sn))
+		fmt.Fprintf(os.Stderr, "shard %d/%d of %d items\n", si, sn, len(items))
+	}
+	if *mergeSpec != "" {
+		if *resume != "" {
+			fmt.Fprintln(os.Stderr, "sweep: -merge already resumes from the shard archives; drop -resume")
+			os.Exit(2)
+		}
+		var archives []*powerfail.RunArchive
+		for _, p := range strings.Split(*mergeSpec, ",") {
+			a, aerr := powerfail.OpenRunArchive(strings.TrimSpace(p))
+			if aerr != nil {
+				fmt.Fprintln(os.Stderr, aerr)
+				os.Exit(2)
+			}
+			archives = append(archives, a)
+		}
+		merged, merr := powerfail.MergeRunArchives(archives...)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, merr)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "merging %d shard archives (%d journaled items)\n",
+			len(archives), merged.Completed())
+		copts = append(copts, powerfail.WithResume(merged))
 	}
 	if *resume != "" {
 		arch, aerr := powerfail.OpenRunArchive(*resume)

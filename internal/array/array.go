@@ -217,7 +217,7 @@ type Array struct {
 	freeSlots []addr.LPN
 	nextSlot  addr.LPN
 	ssdPages  int64
-	destaging *sim.Timer
+	destaging sim.Timer
 
 	stats          Stats
 	readyListeners []func()

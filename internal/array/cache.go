@@ -6,6 +6,7 @@ import (
 	"powerfail/internal/addr"
 	"powerfail/internal/blockdev"
 	"powerfail/internal/content"
+	"powerfail/internal/sim"
 )
 
 // Cached-level member indices.
@@ -304,14 +305,14 @@ func (a *Array) cachedWrite(lpn addr.LPN, pages int, data content.Data, done fun
 // --- write-back destaging ---
 
 func (a *Array) scheduleDestage() {
-	if a.destaging != nil || a.dirtyHead == nil {
+	if a.destaging.Pending() || a.dirtyHead == nil {
 		return
 	}
 	a.destaging = a.k.After(a.cfg.DestageTick, a.destageTick)
 }
 
 func (a *Array) destageTick() {
-	a.destaging = nil
+	a.destaging = sim.Timer{}
 	// With a member down the copies can only fail; hold the dirty queue
 	// and let the tick idle until the array recovers.
 	if a.members[cacheIdx].Ready() && a.members[backingIdx].Ready() {

@@ -5,6 +5,17 @@
 // for every state transition, aggregates sub-request completions, and
 // enforces the 30 second request timeout the paper's analyzer uses to
 // declare delayed requests incomplete.
+//
+// The queue is on the per-IO hot path of every experiment, so it is
+// allocation-free in steady state: sub-requests are inline values in the
+// parent request, the dispatch FIFO is a reusable ring of direct
+// {request, index} entries (no per-sub map), device completion callbacks
+// come from a free list of records with cached closures, and requests
+// obtained from NewRequest are recycled through a per-queue free list.
+// Queues are single-threaded (campaign parallelism is across
+// experiments), so the free lists need no locking. Generation counters
+// on recycled requests make stale dispatch entries and late device
+// completions safely ignorable, replacing the old map-deletion protocol.
 package blockdev
 
 import (
@@ -61,6 +72,12 @@ var (
 
 // Request is one host IO. Fill Op, LPN, Pages and (for writes) Data, then
 // Submit it; Done fires exactly once with the final state.
+//
+// Requests may be built directly (&Request{...}) or taken from the
+// queue's free list with NewRequest. Pooled requests are recycled
+// automatically after Done returns, so callers must not retain them (or
+// their Result slice headers may be cleared; the page data itself is
+// immutable and safe to keep).
 type Request struct {
 	ID    uint64
 	Op    Op
@@ -83,10 +100,20 @@ type Request struct {
 
 	Done func(*Request)
 
-	subs      []*subRequest
+	subs      []subRequest
 	remaining int
-	timeout   *sim.Timer
+	timeout   sim.Timer
 	finished  bool
+
+	// Pooling state. gen identifies the current occupancy of a recycled
+	// request: dispatch entries and device callbacks carry the gen they
+	// were created under and are ignored once it is stale. The closures
+	// are allocated once per pooled request and reused for its lifetime.
+	q         *Queue
+	gen       uint32
+	pooled    bool
+	timeoutFn func()
+	doneEv    func()
 }
 
 type subRequest struct {
@@ -96,6 +123,25 @@ type subRequest struct {
 	off    int // page offset within the parent
 	done   bool
 	result content.Data
+}
+
+// pendingSub is one dispatch-FIFO entry: a direct {request, sub index}
+// pair plus the request generation it was queued under.
+type pendingSub struct {
+	r   *Request
+	idx int
+	gen uint32
+}
+
+// subCall is a pooled device-completion record. cb is created once,
+// capturing the record; each dispatch refills r/idx/gen and hands the
+// same closure to the device, so steady-state dispatch allocates nothing.
+type subCall struct {
+	q   *Queue
+	r   *Request
+	idx int
+	gen uint32
+	cb  func(err error, result content.Data)
 }
 
 // Device is the disk interface the block layer drives. Submit must invoke
@@ -170,11 +216,14 @@ type Queue struct {
 	cfg    Config
 
 	nextID   uint64
-	pending  []*subRequest // dispatch FIFO
-	byIdx    map[*subRequest]*Request
+	pending  []pendingSub // dispatch FIFO: live entries are pending[pendHead:]
+	pendHead int
 	inflight int
 	stats    Stats
 	obs      queueObs
+
+	reqFree  []*Request
+	callFree []*subCall
 }
 
 // New builds a block layer over dev, recording events into tracer (which
@@ -186,7 +235,7 @@ func New(k *sim.Kernel, dev Device, tracer *blktrace.Tracer, cfg Config) (*Queue
 	if dev == nil {
 		return nil, errors.New("blockdev: nil device")
 	}
-	return &Queue{k: k, dev: dev, tracer: tracer, cfg: cfg, byIdx: make(map[*subRequest]*Request)}, nil
+	return &Queue{k: k, dev: dev, tracer: tracer, cfg: cfg}, nil
 }
 
 // Stats returns a snapshot of the counters.
@@ -196,7 +245,39 @@ func (q *Queue) Stats() Stats { return q.stats }
 func (q *Queue) Inflight() int { return q.inflight }
 
 // PendingSubs returns sub-requests waiting for dispatch.
-func (q *Queue) PendingSubs() int { return len(q.pending) }
+func (q *Queue) PendingSubs() int { return len(q.pending) - q.pendHead }
+
+// NewRequest returns a zeroed request from the queue's free list,
+// allocating one with cached callback closures on a miss. The request
+// must be submitted to this queue with a non-nil Done; it is recycled
+// automatically after Done returns.
+func (q *Queue) NewRequest() *Request {
+	if n := len(q.reqFree); n > 0 {
+		r := q.reqFree[n-1]
+		q.reqFree = q.reqFree[:n-1]
+		return r
+	}
+	r := &Request{q: q, pooled: true}
+	r.timeoutFn = func() { r.q.onTimeout(r) }
+	r.doneEv = func() {
+		r.Done(r)
+		r.q.release(r)
+	}
+	return r
+}
+
+// release recycles a pooled request. Advancing gen first makes every
+// outstanding reference (pending ring entries after a timeout, late
+// device completions) stale before the fields are cleared.
+func (q *Queue) release(r *Request) {
+	gen := r.gen + 1
+	for i := range r.subs {
+		r.subs[i] = subRequest{}
+	}
+	subs := r.subs[:0]
+	*r = Request{q: q, pooled: true, gen: gen, subs: subs, timeoutFn: r.timeoutFn, doneEv: r.doneEv}
+	q.reqFree = append(q.reqFree, r)
+}
 
 func (q *Queue) trace(e blktrace.Event) {
 	if q.tracer != nil {
@@ -220,7 +301,7 @@ func (q *Queue) Submit(r *Request) {
 	q.stats.Submitted++
 	q.obs.submitted.Inc()
 	kind := r.Op.traceKind()
-	if len(q.pending) >= q.cfg.PendingCap {
+	if q.PendingSubs() >= q.cfg.PendingCap {
 		r.NotIssued = true
 		r.Err = ErrQueueFull
 		q.stats.Rejected++
@@ -231,19 +312,24 @@ func (q *Queue) Submit(r *Request) {
 	}
 	q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActQueue, Op: kind, Req: r.ID, Sub: -1, LPN: r.LPN, Pages: r.Pages})
 	q.split(r)
-	for _, s := range r.subs {
+	for i := range r.subs {
+		s := &r.subs[i]
 		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActSplit, Op: kind, Req: r.ID, Sub: s.idx, LPN: s.lpn, Pages: s.pages})
-		q.pending = append(q.pending, s)
-		q.byIdx[s] = r
+		q.pending = append(q.pending, pendingSub{r: r, idx: i, gen: r.gen})
 	}
 	r.remaining = len(r.subs)
-	r.timeout = q.k.After(q.cfg.Timeout, func() { q.onTimeout(r) })
+	if r.pooled {
+		r.timeout = q.k.After(q.cfg.Timeout, r.timeoutFn)
+	} else {
+		r.timeout = q.k.After(q.cfg.Timeout, func() { q.onTimeout(r) })
+	}
 	q.pump()
 }
 
 func (q *Queue) split(r *Request) {
+	r.subs = r.subs[:0]
 	if r.Op == OpFlush {
-		r.subs = []*subRequest{{idx: 0, lpn: r.LPN, pages: 0}}
+		r.subs = append(r.subs, subRequest{idx: 0, lpn: r.LPN, pages: 0})
 		return
 	}
 	seg := q.cfg.MaxSegPages
@@ -252,7 +338,7 @@ func (q *Queue) split(r *Request) {
 		if n > seg {
 			n = seg
 		}
-		r.subs = append(r.subs, &subRequest{idx: len(r.subs), lpn: r.LPN + addr.LPN(off), pages: n, off: off})
+		r.subs = append(r.subs, subRequest{idx: len(r.subs), lpn: r.LPN + addr.LPN(off), pages: n, off: off})
 	}
 	if len(r.subs) > 1 {
 		q.stats.Splits += int64(len(r.subs) - 1)
@@ -260,14 +346,54 @@ func (q *Queue) split(r *Request) {
 	}
 }
 
-func (q *Queue) pump() {
-	for q.inflight < q.cfg.Depth && len(q.pending) > 0 {
-		s := q.pending[0]
-		q.pending = q.pending[1:]
-		r, ok := q.byIdx[s]
-		if !ok || r.finished {
-			continue
+// popPending removes and returns the FIFO head. The consumed prefix is
+// compacted away once it dominates the slice, so the ring's backing array
+// reaches a steady size and then stops allocating.
+func (q *Queue) popPending() pendingSub {
+	e := q.pending[q.pendHead]
+	q.pending[q.pendHead] = pendingSub{}
+	q.pendHead++
+	if q.pendHead == len(q.pending) {
+		q.pending = q.pending[:0]
+		q.pendHead = 0
+	} else if q.pendHead >= 256 && q.pendHead*2 >= len(q.pending) {
+		n := copy(q.pending, q.pending[q.pendHead:])
+		for i := n; i < len(q.pending); i++ {
+			q.pending[i] = pendingSub{}
 		}
+		q.pending = q.pending[:n]
+		q.pendHead = 0
+	}
+	return e
+}
+
+// getCall pops (or allocates) a completion record aimed at sub idx of r.
+func (q *Queue) getCall(r *Request, idx int) *subCall {
+	var c *subCall
+	if n := len(q.callFree); n > 0 {
+		c = q.callFree[n-1]
+		q.callFree = q.callFree[:n-1]
+	} else {
+		c = &subCall{q: q}
+		c.cb = func(err error, result content.Data) {
+			r, idx, gen := c.r, c.idx, c.gen
+			c.r = nil
+			c.q.callFree = append(c.q.callFree, c)
+			c.q.onSubDone(r, idx, gen, err, result)
+		}
+	}
+	c.r, c.idx, c.gen = r, idx, r.gen
+	return c
+}
+
+func (q *Queue) pump() {
+	for q.inflight < q.cfg.Depth && q.pendHead < len(q.pending) {
+		e := q.popPending()
+		r := e.r
+		if r.gen != e.gen || r.finished {
+			continue // request timed out (or was recycled) while queued
+		}
+		s := &r.subs[e.idx]
 		q.inflight++
 		kind := r.Op.traceKind()
 		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActDispatch, Op: kind, Req: r.ID, Sub: s.idx, LPN: s.lpn, Pages: s.pages})
@@ -275,22 +401,23 @@ func (q *Queue) pump() {
 		if r.Op == OpWrite {
 			payload = r.Data.Slice(s.off, s.pages)
 		}
-		sub := s
-		q.dev.Submit(r.Op, s.lpn, s.pages, payload, func(err error, result content.Data) {
-			q.onSubDone(r, sub, err, result)
-		})
+		c := q.getCall(r, e.idx)
+		q.dev.Submit(r.Op, s.lpn, s.pages, payload, c.cb)
 	}
 	q.obsSampleDepth()
 }
 
-func (q *Queue) onSubDone(r *Request, s *subRequest, err error, result content.Data) {
+func (q *Queue) onSubDone(r *Request, idx int, gen uint32, err error, result content.Data) {
 	q.inflight--
 	defer q.pump()
-	if r.finished || s.done {
-		return // stale completion after timeout
+	if r.gen != gen || r.finished {
+		return // stale completion after timeout (or recycle)
+	}
+	s := &r.subs[idx]
+	if s.done {
+		return
 	}
 	s.done = true
-	delete(q.byIdx, s)
 	kind := r.Op.traceKind()
 	if err != nil {
 		q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActError, Op: kind, Req: r.ID, Sub: s.idx, LPN: s.lpn, Pages: s.pages})
@@ -305,18 +432,23 @@ func (q *Queue) onSubDone(r *Request, s *subRequest, err error, result content.D
 	if r.remaining > 0 {
 		return
 	}
-	if r.timeout != nil {
-		r.timeout.Stop()
-	}
+	r.timeout.Stop()
 	if r.Op == OpRead && r.Err == nil {
-		r.Result = content.Gather(r.Pages, func(i int) content.Fingerprint {
-			for _, sub := range r.subs {
-				if i >= sub.off && i < sub.off+sub.pages {
-					return sub.result.Page(i - sub.off)
+		if len(r.subs) == 1 {
+			// Unsplit read: the device's payload is the result. Data is
+			// immutable, so sharing it is safe.
+			r.Result = r.subs[0].result
+		} else {
+			r.Result = content.Gather(r.Pages, func(i int) content.Fingerprint {
+				for j := range r.subs {
+					sub := &r.subs[j]
+					if i >= sub.off && i < sub.off+sub.pages {
+						return sub.result.Page(i - sub.off)
+					}
 				}
-			}
-			return content.Zero
-		})
+				return content.Zero
+			})
+		}
 	}
 	if r.Err != nil {
 		q.stats.Errored++
@@ -335,13 +467,9 @@ func (q *Queue) onTimeout(r *Request) {
 	q.obs.timedOut.Inc()
 	r.Err = ErrTimeout
 	q.trace(blktrace.Event{At: q.k.Now(), Act: blktrace.ActTimeout, Op: r.Op.traceKind(), Req: r.ID, Sub: -1, LPN: r.LPN, Pages: r.Pages})
-	// Abandon outstanding subs: drop pending ones and ignore late
-	// completions (onSubDone checks finished).
-	for _, s := range r.subs {
-		if !s.done {
-			delete(q.byIdx, s)
-		}
-	}
+	// Outstanding subs are abandoned implicitly: pending ring entries and
+	// late device completions both check finished (and gen, once the
+	// request is recycled).
 	q.finish(r)
 }
 
@@ -354,6 +482,10 @@ func (q *Queue) finish(r *Request) {
 	if r.Done != nil {
 		// Completion callbacks run as their own event so that device
 		// callback stacks unwind first.
-		q.k.After(0, func() { r.Done(r) })
+		if r.pooled {
+			q.k.After(0, r.doneEv)
+		} else {
+			q.k.After(0, func() { r.Done(r) })
+		}
 	}
 }

@@ -100,8 +100,20 @@ func Random(r *sim.RNG, n int) Data {
 	return Data{pages: p}
 }
 
-// Zeroes returns n pages of zero (unwritten) content.
-func Zeroes(n int) Data { return Data{pages: make([]Fingerprint, n)} }
+// zeroSlab backs Zeroes for common sizes. Data is immutable, so every
+// all-zero payload can share one backing array; the slab covers any
+// request up to 64 Ki pages (256 MiB of simulated data), far beyond the
+// segment and rebuild-chunk sizes on the hot path.
+var zeroSlab = make([]Fingerprint, 64*1024)
+
+// Zeroes returns n pages of zero (unwritten) content. Common sizes share
+// a static backing array and allocate nothing.
+func Zeroes(n int) Data {
+	if n <= len(zeroSlab) {
+		return Data{pages: zeroSlab[:n]}
+	}
+	return Data{pages: make([]Fingerprint, n)}
+}
 
 // FromByteSlice fingerprints b page by page. The final partial page, if
 // any, is fingerprinted as-is (conceptually zero-padded).

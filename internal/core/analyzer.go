@@ -29,6 +29,11 @@ type Analyzer struct {
 	// a composite device; nil on single-device platforms.
 	attribute   func(lpn addr.LPN, pages int) []int
 	memberFails []MemberFailureCounts
+
+	// pktFree recycles packets whose verification story has ended (failed
+	// terminally, aged out of the recheck window, or rejected by the host
+	// queue). Experiments are single-threaded, so no locking.
+	pktFree []*Packet
 }
 
 // MemberFailureCounts is the per-member slice of the failure taxonomy for
@@ -112,33 +117,55 @@ func (a *Analyzer) BeginFault(at sim.Time) int {
 	return len(a.perFault) - 1
 }
 
+// newPacket pops a recycled packet (or allocates one), reset and ready to
+// fill. The Prev backing array survives recycling.
+func (a *Analyzer) newPacket() *Packet {
+	if n := len(a.pktFree); n > 0 {
+		pkt := a.pktFree[n-1]
+		a.pktFree = a.pktFree[:n-1]
+		prev := pkt.Prev[:0]
+		*pkt = Packet{pooled: true, Prev: prev}
+		return pkt
+	}
+	return &Packet{pooled: true}
+}
+
+// release retires a packet whose verification story has ended: it leaves
+// the request index and joins the free list. Idempotent, so a recheck or
+// test touching a terminally classified packet cannot double-free it.
+func (a *Analyzer) release(pkt *Packet) {
+	if !pkt.pooled || pkt.released {
+		return
+	}
+	pkt.released = true
+	delete(a.byReq, pkt.ReqID)
+	a.pktFree = append(a.pktFree, pkt)
+}
+
 // OnIssue registers a submitted workload request; the packet direction
 // is taken from the request itself. For writes it captures the initial
 // (pre-request) checksums and advances the shadow expectation, so
 // overlapping writes chain correctly (WAW sequences).
 func (a *Analyzer) OnIssue(req *blockdev.Request) *Packet {
-	op := workload.OpRead
-	if req.Op == blockdev.OpWrite {
-		op = workload.OpWrite
-	}
-	pkt := &Packet{
-		ReqID:     req.ID,
-		Op:        op,
-		LPN:       req.LPN,
-		Pages:     req.Pages,
-		QueueTime: req.Queued,
-	}
+	pkt := a.newPacket()
+	pkt.ReqID = req.ID
+	pkt.LPN = req.LPN
+	pkt.Pages = req.Pages
+	pkt.QueueTime = req.Queued
 	a.counts.Issued++
-	if op == workload.OpWrite {
+	if req.Op == blockdev.OpWrite {
+		pkt.Op = workload.OpWrite
 		a.counts.Writes++
 		pkt.Want = req.Data
-		pkt.Prev = make([]content.Fingerprint, req.Pages)
+		prev := pkt.Prev[:0]
 		for i := 0; i < req.Pages; i++ {
 			lpn := req.LPN + addr.LPN(i)
-			pkt.Prev[i] = a.shadow[lpn]
+			prev = append(prev, a.shadow[lpn])
 			a.shadow[lpn] = req.Data.Page(i)
 		}
+		pkt.Prev = prev
 	} else {
+		pkt.Op = workload.OpRead
 		a.counts.Reads++
 	}
 	a.byReq[req.ID] = pkt
@@ -160,9 +187,11 @@ func (a *Analyzer) OnComplete(req *blockdev.Request) {
 		a.counts.Errored++
 	}
 	if req.NotIssued {
-		// Never reached the drive; tracked separately from IO errors.
+		// Never reached the drive; tracked separately from IO errors. The
+		// packet is never verified, so it can be recycled right away.
 		a.counts.NotIssued++
 		pkt.Verified = true
+		a.release(pkt)
 		return
 	}
 	a.pending = append(a.pending, pkt)
@@ -190,8 +219,11 @@ func (a *Analyzer) VerifyCandidates(now sim.Time) []*Packet {
 	for _, pkt := range a.recent {
 		if now.Sub(pkt.CompleteTime) <= a.recheckWindow && pkt.FailedAs == FailNone {
 			out = append(out, pkt)
+		} else {
+			// Older or already-failed packets age out of the recheck set
+			// for good; recycle them.
+			a.release(pkt)
 		}
-		// Older or already-failed packets age out of the recheck set.
 	}
 	a.recent = a.recent[:0]
 	return out
@@ -239,7 +271,9 @@ func (a *Analyzer) Classify(pkt *Packet, obs content.Data, faultIdx int) Failure
 		if first {
 			a.counts.OKVerified++
 		}
-		a.recent = append(a.recent, pkt)
+		if !pkt.released {
+			a.recent = append(a.recent, pkt)
+		}
 	}
 	// Re-synchronise the shadow with observed reality so later initial
 	// checksums reflect what is actually on the media. Pages already
@@ -251,6 +285,11 @@ func (a *Analyzer) Classify(pkt *Packet, obs content.Data, faultIdx int) Failure
 				a.shadow[lpn] = obs.Page(i)
 			}
 		}
+	}
+	if outcome != FailNone {
+		// Terminal classification: the packet never re-enters the recheck
+		// set (counting is idempotent per packet), so recycle it.
+		a.release(pkt)
 	}
 	return outcome
 }

@@ -80,6 +80,12 @@ type Packet struct {
 	FailedAs FailureKind
 	// FaultIdx is the fault cycle during which the packet was classified.
 	FaultIdx int
+
+	// Pool bookkeeping: pooled marks packets owned by the analyzer's free
+	// list; released guards against double-free when a test (or recheck)
+	// touches a packet after its terminal classification.
+	pooled   bool
+	released bool
 }
 
 // IsRead reports whether the packet is a read request.

@@ -37,9 +37,15 @@ type Runner struct {
 	// src is the experiment's one IO source (synthetic generator,
 	// transaction engine or trace replayer behind the same interface);
 	// recovery is non-nil when the source wants a post-fault read-back
-	// pass (the transaction oracle).
+	// pass (the transaction oracle). wlSrc devirtualizes the per-IO
+	// Next/Done dispatch for the common synthetic-workload source.
 	src      Source
+	wlSrc    *workloadSource
 	recovery RecoverySource
+
+	// Per-IO bookkeeping free lists (experiments are single-threaded).
+	recFree []*issueRec
+	ctlFree []*ctlRec
 
 	analyzer *Analyzer
 	rng      *sim.RNG
@@ -91,6 +97,9 @@ func NewRunner(p *Platform, spec ExperimentSpec) (*Runner, error) {
 		return nil, err
 	}
 	r.src = src
+	if ws, ok := src.(*workloadSource); ok {
+		r.wlSrc = ws
+	}
 	if rs, ok := src.(RecoverySource); ok {
 		r.recovery = rs
 	}
@@ -205,26 +214,62 @@ func (r *Runner) scheduleArrival() {
 	})
 }
 
+// issueRec is the pooled per-IO bookkeeping of the issue path: it carries
+// the SourceIO across the request's lifetime and its cached fn is the
+// request's Done callback, so issuing an IO allocates nothing in steady
+// state.
+type issueRec struct {
+	r  *Runner
+	io SourceIO
+	fn func(*blockdev.Request)
+}
+
+func (r *Runner) getIssueRec(io SourceIO) *issueRec {
+	var rec *issueRec
+	if n := len(r.recFree); n > 0 {
+		rec = r.recFree[n-1]
+		r.recFree = r.recFree[:n-1]
+	} else {
+		rec = &issueRec{r: r}
+		rec.fn = func(req *blockdev.Request) {
+			r := rec.r
+			io := rec.io
+			rec.io = SourceIO{}
+			r.recFree = append(r.recFree, rec)
+			if r.wlSrc == nil {
+				// The synthetic workload source's Done is a no-op; calling
+				// through the interface would devirtualize nothing else.
+				r.src.Done(io, req.Err)
+			}
+			r.onIOComplete(req)
+		}
+	}
+	rec.io = io
+	return rec
+}
+
 // issueOne pulls the source's next IO and puts it on the wire. Writes and
 // reads are analyzer packets — they cross the block layer and the
 // analyzer's shadow identically whatever produced them, which is what
 // makes application-level verdicts corroborable by the device-level
 // taxonomy. Barrier flushes carry no payload and are not packets.
 func (r *Runner) issueOne() bool {
-	io, ok := r.src.Next()
+	var io SourceIO
+	var ok bool
+	if r.wlSrc != nil {
+		io, ok = r.wlSrc.Next()
+	} else {
+		io, ok = r.src.Next()
+	}
 	if !ok {
 		return false
 	}
-	req := &blockdev.Request{
-		Op:    io.Op,
-		LPN:   io.LPN,
-		Pages: io.Pages,
-		Data:  io.Data,
-		Done: func(req *blockdev.Request) {
-			r.src.Done(io, req.Err)
-			r.onIOComplete(req)
-		},
-	}
+	req := r.p.Host.NewRequest()
+	req.Op = io.Op
+	req.LPN = io.LPN
+	req.Pages = io.Pages
+	req.Data = io.Data
+	req.Done = r.getIssueRec(io).fn
 	r.outstanding++
 	r.issuedTotal++
 	r.p.Host.Submit(req)
@@ -429,30 +474,70 @@ func (r *Runner) verifyOne(i int, done func()) bool {
 	return true
 }
 
+// ctlRec is the pooled bookkeeping of one control read, including its
+// retries: fn is the request Done callback and retry the timer callback
+// that re-issues after a failed attempt, both cached for the record's
+// lifetime.
+type ctlRec struct {
+	r       *Runner
+	lpn     addr.LPN
+	pages   int
+	attempt int
+	done    func(result content.Data, err error)
+	fn      func(*blockdev.Request)
+	retry   func()
+}
+
+func (r *Runner) getCtlRec(lpn addr.LPN, pages, attempt int, done func(result content.Data, err error)) *ctlRec {
+	var rec *ctlRec
+	if n := len(r.ctlFree); n > 0 {
+		rec = r.ctlFree[n-1]
+		r.ctlFree = r.ctlFree[:n-1]
+	} else {
+		rec = &ctlRec{r: r}
+		rec.retry = func() { rec.r.issueControl(rec) }
+		rec.fn = func(req *blockdev.Request) {
+			r := rec.r
+			if req.Err != nil {
+				if rec.attempt < 3 {
+					rec.attempt++
+					r.p.K.After(10*sim.Millisecond, rec.retry)
+					return
+				}
+				done := rec.done
+				rec.done = nil
+				r.ctlFree = append(r.ctlFree, rec)
+				done(content.Data{}, req.Err)
+				return
+			}
+			done := rec.done
+			rec.done = nil
+			r.ctlFree = append(r.ctlFree, rec)
+			done(req.Result, nil)
+		}
+	}
+	rec.lpn, rec.pages, rec.attempt, rec.done = lpn, pages, attempt, done
+	return rec
+}
+
+// issueControl puts one control-read attempt on the wire.
+func (r *Runner) issueControl(rec *ctlRec) {
+	req := r.p.Host.NewRequest()
+	req.Op = blockdev.OpRead
+	req.LPN = rec.lpn
+	req.Pages = rec.pages
+	req.Control = true
+	req.Done = rec.fn
+	r.p.Host.Submit(req)
+}
+
 // controlRead issues a post-recovery platform read of [lpn, lpn+pages).
 // The drive should be ready, so errors are retried a few times before the
 // final outcome is surfaced to done (exactly once). Both the packet
 // verification pass and the source recovery pass read through here, so
 // the two classifiers always see the device through the same retry policy.
 func (r *Runner) controlRead(lpn addr.LPN, pages, attempt int, done func(result content.Data, err error)) {
-	req := &blockdev.Request{
-		Op:      blockdev.OpRead,
-		LPN:     lpn,
-		Pages:   pages,
-		Control: true,
-		Done: func(req *blockdev.Request) {
-			if req.Err != nil {
-				if attempt < 3 {
-					r.p.K.After(10*sim.Millisecond, func() { r.controlRead(lpn, pages, attempt+1, done) })
-					return
-				}
-				done(content.Data{}, req.Err)
-				return
-			}
-			done(req.Result, nil)
-		},
-	}
-	r.p.Host.Submit(req)
+	r.issueControl(r.getCtlRec(lpn, pages, attempt, done))
 }
 
 func (r *Runner) finishVerification() {

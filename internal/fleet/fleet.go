@@ -334,6 +334,67 @@ type Sim struct {
 	end            sim.Time
 	stats          Stats
 	obs            fleetObs
+
+	// Foreground-path scratch: target slices reused across arrivals and a
+	// free list of completion records with cached callbacks, so serving a
+	// foreground op allocates nothing in steady state.
+	scratchR []*Member
+	scratchW []*Member
+	fgFree   []*fgRec
+}
+
+// fgRec tracks one foreground op's fan-out: a pooled record whose cached
+// fn is handed to every per-member submitIO as the completion callback.
+type fgRec struct {
+	f         *Sim
+	start     sim.Time
+	degraded  bool
+	remaining int
+	anyErr    bool
+	fn        func(error)
+}
+
+func (f *Sim) getFg(start sim.Time, degraded bool, remaining int) *fgRec {
+	var rec *fgRec
+	if n := len(f.fgFree); n > 0 {
+		rec = f.fgFree[n-1]
+		f.fgFree = f.fgFree[:n-1]
+	} else {
+		rec = &fgRec{f: f}
+		rec.fn = func(err error) {
+			if err != nil {
+				rec.anyErr = true
+			}
+			rec.remaining--
+			if rec.remaining > 0 {
+				return
+			}
+			f := rec.f
+			start, degraded, anyErr := rec.start, rec.degraded, rec.anyErr
+			f.fgFree = append(f.fgFree, rec)
+			f.fgDone(start, degraded, anyErr)
+		}
+	}
+	rec.start, rec.degraded, rec.remaining, rec.anyErr = start, degraded, remaining, false
+	return rec
+}
+
+// fgDone closes out one foreground op once every member completion is in.
+func (f *Sim) fgDone(start sim.Time, degraded, anyErr bool) {
+	if anyErr {
+		f.stats.FgFailed++
+		return
+	}
+	lat := f.k.Now().Sub(start)
+	f.stats.fgLatencySum += lat
+	f.stats.fgOKOps++
+	f.obs.fgLat.ObserveDuration(lat)
+	if degraded {
+		f.stats.FgDegraded++
+		f.stats.fgDegLatSum += lat
+		f.stats.fgDegOKOps++
+		f.obs.fgDegLat.ObserveDuration(lat)
+	}
 }
 
 // NewSim builds a fleet over its own simulation kernel. Placement is
@@ -525,11 +586,14 @@ func (f *Sim) startWorkload() {
 }
 
 func (f *Sim) scheduleArrival(g *Group) {
+	if g.arrive == nil {
+		g.arrive = func() {
+			f.issueForeground(g)
+			f.scheduleArrival(g)
+		}
+	}
 	d := sim.Duration(f.wl.ExpMean(float64(f.cfg.Workload.MeanInterarrival)))
-	f.k.After(d, func() {
-		f.issueForeground(g)
-		f.scheduleArrival(g)
-	})
+	f.k.After(d, g.arrive)
 }
 
 // issueForeground serves one request against the group: reads hit one bay
@@ -549,10 +613,11 @@ func (f *Sim) issueForeground(g *Group) {
 	degraded := g.class != classUp
 	start := f.k.Now()
 
-	var targetsR, targetsW []*Member
+	targetsR := f.scratchR[:0]
+	targetsW := f.scratchW[:0]
 	if isRead {
 		if slot.state == SlotHealthy {
-			targetsR = []*Member{slot.member}
+			targetsR = append(targetsR, slot.member)
 		} else {
 			// Degraded read: RAID-5 reconstruction needs every other bay.
 			for _, o := range g.slots {
@@ -568,10 +633,11 @@ func (f *Sim) issueForeground(g *Group) {
 		}
 	} else {
 		parity := g.slots[(si+1)%len(g.slots)]
-		for _, t := range []*Slot{slot, parity} {
-			if t.state == SlotHealthy {
-				targetsW = append(targetsW, t.member)
-			}
+		if slot.state == SlotHealthy {
+			targetsW = append(targetsW, slot.member)
+		}
+		if parity.state == SlotHealthy {
+			targetsW = append(targetsW, parity.member)
 		}
 		// A degraded write lands on whichever of the pair is up; the dark
 		// bay's copy is reconstructed by the eventual rebuild. (The RAID-5
@@ -581,37 +647,14 @@ func (f *Sim) issueForeground(g *Group) {
 			return
 		}
 	}
+	f.scratchR, f.scratchW = targetsR[:0], targetsW[:0]
 
-	remaining := len(targetsR) + len(targetsW)
-	anyErr := false
-	doneOne := func(err error) {
-		if err != nil {
-			anyErr = true
-		}
-		remaining--
-		if remaining > 0 {
-			return
-		}
-		if anyErr {
-			f.stats.FgFailed++
-			return
-		}
-		lat := f.k.Now().Sub(start)
-		f.stats.fgLatencySum += lat
-		f.stats.fgOKOps++
-		f.obs.fgLat.ObserveDuration(lat)
-		if degraded {
-			f.stats.FgDegraded++
-			f.stats.fgDegLatSum += lat
-			f.stats.fgDegOKOps++
-			f.obs.fgDegLat.ObserveDuration(lat)
-		}
-	}
+	rec := f.getFg(start, degraded, len(targetsR)+len(targetsW))
 	for _, m := range targetsR {
-		m.submitIO(blockdev.OpRead, lpnOf(lpn), pages, false, doneOne)
+		m.submitIO(blockdev.OpRead, lpnOf(lpn), pages, false, rec.fn)
 	}
 	for _, m := range targetsW {
-		m.submitIO(blockdev.OpWrite, lpnOf(lpn), pages, false, doneOne)
+		m.submitIO(blockdev.OpWrite, lpnOf(lpn), pages, false, rec.fn)
 	}
 }
 

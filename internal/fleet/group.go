@@ -67,7 +67,7 @@ type Slot struct {
 	window      bool
 	windowStart sim.Time
 	stalled     bool
-	grace       *sim.Timer
+	grace       sim.Timer
 	rbGen       uint64 // invalidates in-flight rebuild chunk callbacks
 }
 
@@ -92,6 +92,10 @@ type Group struct {
 	upTime     sim.Duration
 	degTime    sim.Duration
 	downTime   sim.Duration
+
+	// arrive is the cached open-loop arrival callback (one per group, not
+	// one per arrival).
+	arrive func()
 }
 
 type groupClass int
@@ -181,9 +185,9 @@ func (s *Slot) memberReady() {
 	case SlotDegraded:
 		// Transient outage: power returned inside the grace window, the
 		// bay's data is intact (drives are non-volatile across cuts).
-		if s.grace != nil {
+		if s.grace.Pending() {
 			s.grace.Stop()
-			s.grace = nil
+			s.grace = sim.Timer{}
 		}
 		s.setState(SlotHealthy)
 		s.g.recount()
@@ -206,7 +210,7 @@ func (s *Slot) declare() {
 	if s.state != SlotDegraded {
 		return
 	}
-	s.grace = nil
+	s.grace = sim.Timer{}
 	f := s.g.f
 	f.stats.DeclaredFailures++
 	f.obs.declared.Inc()

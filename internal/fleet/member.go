@@ -87,6 +87,101 @@ type Member struct {
 
 	readyFns []func()
 	downFns  []func()
+
+	svcFree []*svcCall
+	ioFree  []*ioRec
+}
+
+// svcCall is a pooled service-completion record: one per IO in flight at
+// the member's single-server queue, recycled when its event fires. fn is
+// created once and reused, so steady-state Submit allocates nothing.
+type svcCall struct {
+	m     *Member
+	op    blockdev.Op
+	pages int
+	gen   uint64
+	done  func(err error, result content.Data)
+	fn    func()
+}
+
+func (m *Member) getSvc(op blockdev.Op, pages int, gen uint64, done func(err error, result content.Data)) *svcCall {
+	var c *svcCall
+	if n := len(m.svcFree); n > 0 {
+		c = m.svcFree[n-1]
+		m.svcFree = m.svcFree[:n-1]
+	} else {
+		c = &svcCall{m: m}
+		c.fn = func() {
+			op, pages, gen, done := c.op, c.pages, c.gen, c.done
+			c.done = nil
+			c.m.svcFree = append(c.m.svcFree, c)
+			c.m.svcDone(op, pages, gen, done)
+		}
+	}
+	c.op, c.pages, c.gen, c.done = op, pages, gen, done
+	return c
+}
+
+// svcDone delivers one service completion (the body of the old per-IO
+// closure in Submit).
+func (m *Member) svcDone(op blockdev.Op, pages int, gen uint64, done func(err error, result content.Data)) {
+	if m.gen != gen || !m.ready {
+		done(ErrMemberDown, content.Data{})
+		return
+	}
+	if op == blockdev.OpRead {
+		done(nil, content.Zeroes(pages))
+		return
+	}
+	done(nil, content.Data{})
+}
+
+// ioRec is a pooled submitIO bookkeeping record with a cached Done
+// closure, so routing a fleet request through the block layer allocates
+// nothing in steady state.
+type ioRec struct {
+	m       *Member
+	op      blockdev.Op
+	pages   int
+	rebuild bool
+	done    func(error)
+	fn      func(*blockdev.Request)
+}
+
+func (m *Member) getIORec(op blockdev.Op, pages int, rebuild bool, done func(error)) *ioRec {
+	var rec *ioRec
+	if n := len(m.ioFree); n > 0 {
+		rec = m.ioFree[n-1]
+		m.ioFree = m.ioFree[:n-1]
+	} else {
+		rec = &ioRec{m: m}
+		rec.fn = func(req *blockdev.Request) {
+			op, pages, rebuild, done := rec.op, rec.pages, rec.rebuild, rec.done
+			rec.done = nil
+			rec.m.ioFree = append(rec.m.ioFree, rec)
+			rec.m.ioDone(req, op, pages, rebuild, done)
+		}
+	}
+	rec.op, rec.pages, rec.rebuild, rec.done = op, pages, rebuild, done
+	return rec
+}
+
+func (m *Member) ioDone(req *blockdev.Request, op blockdev.Op, pages int, rebuild bool, done func(error)) {
+	if req.Err != nil {
+		m.stats.Errors++
+	} else {
+		switch {
+		case op == blockdev.OpRead && rebuild:
+			m.stats.RebuildReadPages += int64(pages)
+		case op == blockdev.OpRead:
+			m.stats.ForegroundReadPages += int64(pages)
+		case rebuild:
+			m.stats.RebuildWritePages += int64(pages)
+		default:
+			m.stats.ForegroundWritePages += int64(pages)
+		}
+	}
+	done(req.Err)
 }
 
 // newMember builds a drive on the given PSU leaf and wires its power
@@ -173,50 +268,20 @@ func (m *Member) Submit(op blockdev.Op, lpn addr.LPN, pages int, data content.Da
 	}
 	finish := start.Add(m.prof.IOLatency + sim.Duration(pages)*m.prof.PageTime)
 	m.nextFree = finish
-	gen := m.gen
-	m.k.At(finish, func() {
-		if m.gen != gen || !m.ready {
-			done(ErrMemberDown, content.Data{})
-			return
-		}
-		if op == blockdev.OpRead {
-			done(nil, content.Zeroes(pages))
-			return
-		}
-		done(nil, content.Data{})
-	})
+	m.k.At(finish, m.getSvc(op, pages, m.gen, done).fn)
 }
 
 // submitIO routes one fleet request (foreground or rebuild) through the
 // member's block layer, keeping the origin-split counters; done fires with
 // the request's final error.
 func (m *Member) submitIO(op blockdev.Op, lpn addr.LPN, pages int, rebuild bool, done func(error)) {
-	var payload content.Data
+	req := m.queue.NewRequest()
+	req.Op = op
+	req.LPN = lpn
+	req.Pages = pages
 	if op == blockdev.OpWrite {
-		payload = content.Zeroes(pages)
+		req.Data = content.Zeroes(pages)
 	}
-	req := &blockdev.Request{
-		Op:    op,
-		LPN:   lpn,
-		Pages: pages,
-		Data:  payload,
-		Done: func(req *blockdev.Request) {
-			if req.Err != nil {
-				m.stats.Errors++
-			} else {
-				switch {
-				case op == blockdev.OpRead && rebuild:
-					m.stats.RebuildReadPages += int64(pages)
-				case op == blockdev.OpRead:
-					m.stats.ForegroundReadPages += int64(pages)
-				case rebuild:
-					m.stats.RebuildWritePages += int64(pages)
-				default:
-					m.stats.ForegroundWritePages += int64(pages)
-				}
-			}
-			done(req.Err)
-		},
-	}
+	req.Done = m.getIORec(op, pages, rebuild, done).fn
 	m.queue.Submit(req)
 }

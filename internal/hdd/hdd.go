@@ -101,7 +101,7 @@ type Disk struct {
 
 	available bool
 	busyUntil sim.Time
-	spinup    *sim.Timer // pending recovery; cancelled by a new power loss
+	spinup    sim.Timer // pending recovery; cancelled by a new power loss
 	// inFlightWrite tracks the page being written at any instant so a cut
 	// can tear exactly that sector.
 	cur   *writeJob
@@ -123,7 +123,7 @@ type writeJob struct {
 	startAt sim.Time
 	perPage sim.Duration
 	done    func(error, content.Data)
-	timer   *sim.Timer
+	timer   sim.Timer
 }
 
 // New attaches a disk to the PSU rail.
@@ -276,9 +276,9 @@ func (d *Disk) flushAll() []cacheEnt {
 func (d *Disk) onPowerLoss() {
 	// A cut during spin-up aborts the recovery; the drive stays off the
 	// bus until the next power-good restarts it.
-	if d.spinup != nil {
+	if d.spinup.Pending() {
 		d.spinup.Stop()
-		d.spinup = nil
+		d.spinup = sim.Timer{}
 	}
 	if !d.available {
 		return
@@ -311,11 +311,11 @@ func (d *Disk) onPowerLoss() {
 }
 
 func (d *Disk) onPowerGood() {
-	if d.available || d.spinup != nil {
+	if d.available || d.spinup.Pending() {
 		return
 	}
 	d.spinup = d.k.After(d.prof.RecoveryTime, func() {
-		d.spinup = nil
+		d.spinup = sim.Timer{}
 		d.available = true
 		d.stats.Recoveries++
 		for _, fn := range d.readyListeners {

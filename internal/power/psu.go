@@ -95,7 +95,7 @@ type Watch struct {
 	threshold float64
 	below     bool // true: fire on downward crossing
 	fn        func()
-	timer     *sim.Timer
+	timer     sim.Timer
 	wasBelow  bool
 	cancelled bool
 }
@@ -103,10 +103,8 @@ type Watch struct {
 // Cancel permanently disables the watch.
 func (w *Watch) Cancel() {
 	w.cancelled = true
-	if w.timer != nil {
-		w.timer.Stop()
-		w.timer = nil
-	}
+	w.timer.Stop()
+	w.timer = sim.Timer{}
 }
 
 // PSU models the independent ATX supply driving the device under test.
@@ -287,10 +285,8 @@ func (p *PSU) replan(w *Watch) {
 	if w.cancelled {
 		return
 	}
-	if w.timer != nil {
-		w.timer.Stop()
-		w.timer = nil
-	}
+	w.timer.Stop()
+	w.timer = sim.Timer{}
 	v := p.Voltage()
 	isBelow := v < w.threshold
 	// Detect a crossing that logically happened at the state change itself.
@@ -303,7 +299,7 @@ func (p *PSU) replan(w *Watch) {
 		if w.cancelled {
 			return
 		}
-		w.timer = nil
+		w.timer = sim.Timer{}
 		w.wasBelow = w.below
 		w.fn()
 	})

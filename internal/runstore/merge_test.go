@@ -1,0 +1,93 @@
+package runstore
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// mergeArchive journals a manifest plus item records via the package's
+// writeArchive test helper and returns the archive loaded back.
+func mergeArchive(t *testing.T, path string, m Manifest, items ...ItemRecord) *Archive {
+	t.Helper()
+	writeArchive(t, path, m, items, nil)
+	a, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestMergeCombinesAndShadows(t *testing.T) {
+	dir := t.TempDir()
+	rep := json.RawMessage(`{"faults":1}`)
+	a := mergeArchive(t, filepath.Join(dir, "a.run"),
+		Manifest{Tool: "test", Figure: "fig5", Scale: 0.1, Shard: 0, ShardCount: 2},
+		ItemRecord{Index: 0, Key: "k0", Report: rep},
+		ItemRecord{Index: 2, Key: "k2", Report: rep},
+	)
+	rep2 := json.RawMessage(`{"faults":2}`)
+	b := mergeArchive(t, filepath.Join(dir, "b.run"),
+		Manifest{Tool: "test", Figure: "fig5", Scale: 0.1, Shard: 1, ShardCount: 2},
+		ItemRecord{Index: 1, Key: "k1", Report: rep},
+		ItemRecord{Index: 2, Key: "k2", Report: rep2}, // duplicate key: later shadows
+	)
+
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Manifest.Shard != 0 || m.Manifest.ShardCount != 0 {
+		t.Fatalf("merged manifest keeps shard marker %d/%d", m.Manifest.Shard, m.Manifest.ShardCount)
+	}
+	if len(m.Items) != 4 {
+		t.Fatalf("merged items = %d, want 4 (records kept, later shadows in lookup)", len(m.Items))
+	}
+	for _, key := range []string{"k0", "k1", "k2"} {
+		if m.Lookup(key) == nil {
+			t.Fatalf("merged archive misses key %s", key)
+		}
+	}
+	if got := string(m.Lookup("k2").Report); got != string(rep2) {
+		t.Fatalf("k2 report = %s, want the later archive's %s", got, rep2)
+	}
+}
+
+func TestMergeRefusesMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a := mergeArchive(t, filepath.Join(dir, "a.run"), Manifest{Tool: "test", Figure: "fig5", Scale: 0.1})
+	b := mergeArchive(t, filepath.Join(dir, "b.run"), Manifest{Tool: "test", Figure: "fig6", Scale: 0.1})
+	if _, err := Merge(a, b); err == nil {
+		t.Fatal("figure mismatch merged without error")
+	}
+	c := mergeArchive(t, filepath.Join(dir, "c.run"), Manifest{Tool: "test", Figure: "fig5", Scale: 0.2})
+	if _, err := Merge(a, c); err == nil {
+		t.Fatal("scale mismatch merged without error")
+	}
+	if _, err := Merge(); err == nil {
+		t.Fatal("empty merge returned no error")
+	}
+}
+
+// TestManifestShardFieldsOmitted: ordinary (unsharded) manifests must not
+// grow new JSON keys — pre-shard archive bytes stay reproducible.
+func TestManifestShardFieldsOmitted(t *testing.T) {
+	b, err := json.Marshal(Manifest{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"shard", "shard_count"} {
+		if jsonHasKey(b, key) {
+			t.Fatalf("unsharded manifest JSON carries %q: %s", key, b)
+		}
+	}
+}
+
+func jsonHasKey(b []byte, key string) bool {
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		return false
+	}
+	_, ok := m[key]
+	return ok
+}

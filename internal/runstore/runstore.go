@@ -63,6 +63,15 @@ type Manifest struct {
 	Scale    float64 `json:"scale,omitempty"`
 	BaseSeed uint64  `json:"base_seed,omitempty"`
 
+	// Shard/ShardCount mark an archive written by a sharded run: only the
+	// items whose global index is congruent to Shard modulo ShardCount were
+	// executed and journaled. Item indices, seeds and keys are those of the
+	// full campaign, so merging every shard's records reproduces exactly
+	// the record set of an unsharded run. Both are zero (and omitted) for
+	// ordinary archives, keeping pre-shard archive bytes unchanged.
+	Shard      int `json:"shard,omitempty"`
+	ShardCount int `json:"shard_count,omitempty"`
+
 	Items []ItemSpec `json:"items"`
 }
 
@@ -244,6 +253,37 @@ func Open(path string) (*Archive, error) {
 // Lookup returns the journaled record for an item key, or nil.
 func (a *Archive) Lookup(key string) *ItemRecord {
 	return a.byKey[key]
+}
+
+// Merge combines the item records of several archives — typically the N
+// archives of an N-way sharded run — into one in-memory archive suitable
+// for resuming. Records keep their file order per archive; across
+// archives, later records for the same key shadow earlier ones, matching
+// Open's semantics for a single file. The merged manifest is the first
+// archive's with the shard marker cleared; archives disagreeing on
+// figure or scale are refused. The merged archive carries no final
+// record: the campaign resumed from it writes its own.
+func Merge(archives ...*Archive) (*Archive, error) {
+	if len(archives) == 0 {
+		return nil, fmt.Errorf("runstore: merge: no archives")
+	}
+	m := archives[0].Manifest
+	for _, a := range archives[1:] {
+		if a.Manifest.Figure != m.Figure || a.Manifest.Scale != m.Scale {
+			return nil, fmt.Errorf("runstore: merge: %s is figure %q scale %g, but %s is figure %q scale %g",
+				archives[0].Path, m.Figure, m.Scale, a.Path, a.Manifest.Figure, a.Manifest.Scale)
+		}
+	}
+	m.Shard, m.ShardCount = 0, 0
+	merged := &Archive{Path: "merged", Manifest: m}
+	for _, a := range archives {
+		merged.Items = append(merged.Items, a.Items...)
+	}
+	merged.byKey = make(map[string]*ItemRecord, len(merged.Items))
+	for i := range merged.Items {
+		merged.byKey[merged.Items[i].Key] = &merged.Items[i]
+	}
+	return merged, nil
 }
 
 // Completed counts journaled items that carry a report (not an error).

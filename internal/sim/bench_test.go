@@ -1,0 +1,52 @@
+package sim
+
+import "testing"
+
+// BenchmarkKernelScheduleFire measures the schedule→fire round trip that
+// every simulated event pays. The callback is hoisted so the benchmark
+// isolates the kernel's own cost; allocs/op must be zero in steady state.
+func BenchmarkKernelScheduleFire(b *testing.B) {
+	k := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Duration(i%97), fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelDeepQueue keeps a deep pending queue (the fleet steady
+// state: thousands of member completions in flight) while scheduling and
+// firing, exercising real sift depths instead of a near-empty heap.
+func BenchmarkKernelDeepQueue(b *testing.B) {
+	k := New()
+	fn := func() {}
+	for i := 0; i < 4096; i++ {
+		k.After(Duration(1+i%251), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Duration(1+i%251), fn)
+		k.Step()
+	}
+}
+
+// BenchmarkKernelScheduleStop measures the cancel path: timeout timers
+// are scheduled per IO and almost always stopped. Eager reclamation makes
+// this allocation-free and keeps the heap from accumulating dead entries.
+func BenchmarkKernelScheduleStop(b *testing.B) {
+	k := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := k.After(Duration(1+i%97), fn)
+		tm.Stop()
+	}
+	b.StopTimer()
+	if len(k.heap) != 0 {
+		b.Fatalf("heap holds %d entries after stop-only load", len(k.heap))
+	}
+}

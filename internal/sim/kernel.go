@@ -1,55 +1,93 @@
 package sim
 
-import "container/heap"
+// The event kernel is the innermost loop of every experiment: a fleet
+// campaign fires tens of millions of events, so the scheduler must not
+// allocate per event. Timers live in an inline slot table recycled
+// through a free list, the priority queue is a hand-rolled 4-ary min-heap
+// of inline entries (no interface boxing, one cache line covers all four
+// children of a node), and handles are (slot, generation) pairs so a
+// stale handle can never cancel an unrelated timer that happens to reuse
+// its slot. Stopping a timer removes its heap entry eagerly, so cancelled
+// timers occupy no memory and Pending is a plain length read.
 
-// Timer is a pending callback scheduled on a Kernel. Timers are one-shot;
-// use Stop to cancel one that has not fired yet.
+// Timer is a handle to a pending callback scheduled on a Kernel. Timers
+// are one-shot; use Stop to cancel one that has not fired yet. The zero
+// Timer is valid and behaves like a timer that never existed (Stop
+// returns false, Pending/Fired/Stopped report false).
 type Timer struct {
-	when    Time
-	seq     uint64
-	fn      func()
-	stopped bool
-	fired   bool
+	k    *Kernel
+	when Time
+	slot int32
+	gen  uint32
+}
+
+// timerSlot is the kernel-side state behind a Timer handle. A slot hosts
+// one scheduled timer at a time; gen identifies the current occupancy and
+// advances when the timer ends (fires or is stopped), which invalidates
+// outstanding handles. endFired records how generation gen-1 ended, so a
+// handle probed after its timer ended still answers Fired/Stopped
+// correctly until the slot hosts a new timer that also ends.
+type timerSlot struct {
+	fn       func()
+	gen      uint32
+	pos      int32 // index into the heap, -1 when not scheduled
+	endFired bool
+}
+
+// heapEnt is one inline priority-queue entry: ordering keys plus the slot
+// holding the callback. Comparisons never chase a pointer.
+type heapEnt struct {
+	when Time
+	seq  uint64
+	slot int32
 }
 
 // When reports the instant at which the timer is due to fire.
-func (t *Timer) When() Time { return t.when }
+func (t Timer) When() Time { return t.when }
 
-// Stop cancels the timer. It reports whether the cancellation prevented the
-// callback from running (false if the timer already fired or was stopped).
-func (t *Timer) Stop() bool {
-	if t.fired || t.stopped {
+// Pending reports whether the timer is still scheduled.
+func (t Timer) Pending() bool {
+	return t.k != nil && t.k.slots[t.slot].gen == t.gen
+}
+
+// Stop cancels the timer. It reports whether the cancellation prevented
+// the callback from running (false if the timer already fired or was
+// stopped, or for the zero Timer). The slot is reclaimed immediately.
+func (t Timer) Stop() bool {
+	if t.k == nil {
 		return false
 	}
-	t.stopped = true
-	t.fn = nil
+	s := &t.k.slots[t.slot]
+	if s.gen != t.gen {
+		return false // already ended (or the slot moved on)
+	}
+	t.k.removeEnt(int(s.pos))
+	t.k.retire(t.slot, false)
 	return true
 }
 
 // Stopped reports whether the timer was cancelled before firing.
-func (t *Timer) Stopped() bool { return t.stopped }
-
-// Fired reports whether the timer's callback has run.
-func (t *Timer) Fired() bool { return t.fired }
-
-type timerHeap []*Timer
-
-func (h timerHeap) Len() int { return len(h) }
-func (h timerHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+func (t Timer) Stopped() bool {
+	if t.k == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
+	s := &t.k.slots[t.slot]
+	return s.gen == t.gen+1 && !s.endFired
 }
-func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
-func (h *timerHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return t
+
+// Fired reports whether the timer's callback has run. Once the slot has
+// hosted (and ended) a later timer the distinction from Stopped is gone;
+// a long-stale handle reports Fired unless the slot's most recent ending
+// is a known Stop of this handle's generation.
+func (t Timer) Fired() bool {
+	if t.k == nil {
+		return false
+	}
+	s := &t.k.slots[t.slot]
+	if s.gen == t.gen {
+		return false // still pending
+	}
+	return s.gen != t.gen+1 || s.endFired
 }
 
 // Kernel is a single-threaded discrete-event scheduler. Events scheduled
@@ -57,7 +95,9 @@ func (h *timerHeap) Pop() interface{} {
 // experiments deterministic.
 type Kernel struct {
 	now       Time
-	heap      timerHeap
+	heap      []heapEnt
+	slots     []timerSlot
+	free      []int32
 	seq       uint64
 	processed uint64
 }
@@ -71,56 +111,70 @@ func (k *Kernel) Now() Time { return k.now }
 // Processed returns the total number of events that have fired.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
-// Pending returns the number of scheduled (possibly stopped) timers.
-func (k *Kernel) Pending() int {
-	n := 0
-	for _, t := range k.heap {
-		if !t.stopped {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled timers. Stopped timers are
+// removed from the queue eagerly, so this is a length read, not a scan.
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // At schedules fn to run at instant t. Instants in the past run at the
 // current time, preserving scheduling order. fn must not be nil.
-func (k *Kernel) At(t Time, fn func()) *Timer {
+func (k *Kernel) At(t Time, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil callback")
 	}
 	if t < k.now {
 		t = k.now
 	}
-	tm := &Timer{when: t, seq: k.seq, fn: fn}
+	var slot int32
+	if n := len(k.free); n > 0 {
+		slot = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		slot = int32(len(k.slots))
+		k.slots = append(k.slots, timerSlot{pos: -1})
+	}
+	s := &k.slots[slot]
+	s.fn = fn
+	s.pos = int32(len(k.heap))
+	k.heap = append(k.heap, heapEnt{when: t, seq: k.seq, slot: slot})
 	k.seq++
-	heap.Push(&k.heap, tm)
-	return tm
+	k.siftUp(len(k.heap) - 1)
+	return Timer{k: k, when: t, slot: slot, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time. Negative durations
 // are treated as zero.
-func (k *Kernel) After(d Duration, fn func()) *Timer {
+func (k *Kernel) After(d Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return k.At(k.now.Add(d), fn)
 }
 
+// retire ends a slot's current occupancy (fired or stopped) and returns
+// it to the free list.
+func (k *Kernel) retire(slot int32, fired bool) {
+	s := &k.slots[slot]
+	s.fn = nil
+	s.pos = -1
+	s.endFired = fired
+	s.gen++
+	k.free = append(k.free, slot)
+}
+
 // Step fires the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was fired.
 func (k *Kernel) Step() bool {
-	for len(k.heap) > 0 {
-		t := heap.Pop(&k.heap).(*Timer)
-		if t.stopped {
-			continue
-		}
-		k.now = t.when
-		t.fired = true
-		k.processed++
-		t.fn()
-		return true
+	if len(k.heap) == 0 {
+		return false
 	}
-	return false
+	ent := k.heap[0]
+	k.removeEnt(0)
+	fn := k.slots[ent.slot].fn
+	k.retire(ent.slot, true)
+	k.now = ent.when
+	k.processed++
+	fn()
+	return true
 }
 
 // Run fires events until none remain and returns the number fired.
@@ -135,11 +189,7 @@ func (k *Kernel) Run() uint64 {
 // clock to t. It returns the number of events fired.
 func (k *Kernel) RunUntil(t Time) uint64 {
 	start := k.processed
-	for {
-		next, ok := k.peek()
-		if !ok || next > t {
-			break
-		}
+	for len(k.heap) > 0 && k.heap[0].when <= t {
 		k.Step()
 	}
 	if t > k.now {
@@ -161,13 +211,75 @@ func (k *Kernel) RunWhile(cond func() bool) uint64 {
 	return k.processed - start
 }
 
-func (k *Kernel) peek() (Time, bool) {
-	for len(k.heap) > 0 {
-		if k.heap[0].stopped {
-			heap.Pop(&k.heap)
-			continue
-		}
-		return k.heap[0].when, true
+// --- 4-ary min-heap over (when, seq) ---
+
+// less orders entries by firing time, then scheduling order.
+func (k *Kernel) less(a, b heapEnt) bool {
+	if a.when != b.when {
+		return a.when < b.when
 	}
-	return 0, false
+	return a.seq < b.seq
+}
+
+// place writes ent at heap index i and keeps its slot's back-pointer
+// current, so Stop can find the entry in O(1).
+func (k *Kernel) place(i int, ent heapEnt) {
+	k.heap[i] = ent
+	k.slots[ent.slot].pos = int32(i)
+}
+
+func (k *Kernel) siftUp(i int) {
+	ent := k.heap[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !k.less(ent, k.heap[parent]) {
+			break
+		}
+		k.place(i, k.heap[parent])
+		i = parent
+	}
+	k.place(i, ent)
+}
+
+func (k *Kernel) siftDown(i int) {
+	n := len(k.heap)
+	ent := k.heap[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if k.less(k.heap[c], k.heap[min]) {
+				min = c
+			}
+		}
+		if !k.less(k.heap[min], ent) {
+			break
+		}
+		k.place(i, k.heap[min])
+		i = min
+	}
+	k.place(i, ent)
+}
+
+// removeEnt deletes the heap entry at index i, restoring heap order.
+func (k *Kernel) removeEnt(i int) {
+	n := len(k.heap) - 1
+	moved := k.heap[n]
+	k.heap = k.heap[:n]
+	if i == n {
+		return
+	}
+	k.place(i, moved)
+	if i > 0 && k.less(moved, k.heap[(i-1)>>2]) {
+		k.siftUp(i)
+	} else {
+		k.siftDown(i)
+	}
 }

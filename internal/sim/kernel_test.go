@@ -138,6 +138,109 @@ func TestPendingExcludesStopped(t *testing.T) {
 	}
 }
 
+// Regression (PR 9): stopped timers used to linger in the heap until
+// popped, so a cut-heavy fleet run accumulated dead entries. Stop now
+// reclaims the heap entry and the slot eagerly.
+func TestStoppedTimersReclaimedEagerly(t *testing.T) {
+	k := New()
+	timers := make([]Timer, 1000)
+	for i := range timers {
+		timers[i] = k.After(Duration(i+1), func() {})
+	}
+	for _, tm := range timers {
+		if !tm.Stop() {
+			t.Fatal("Stop returned false on pending timer")
+		}
+	}
+	if len(k.heap) != 0 {
+		t.Fatalf("heap still holds %d entries after stopping every timer", len(k.heap))
+	}
+	if k.Pending() != 0 {
+		t.Fatalf("Pending=%d, want 0", k.Pending())
+	}
+	// The slot table is recycled, not regrown.
+	slots := len(k.slots)
+	for i := range timers {
+		timers[i] = k.After(Duration(i+1), func() {})
+	}
+	if len(k.slots) != slots {
+		t.Fatalf("slot table grew from %d to %d across a full recycle", slots, len(k.slots))
+	}
+	if n := k.Run(); n != 1000 {
+		t.Fatalf("Run fired %d, want 1000", n)
+	}
+}
+
+// Regression (PR 9): a stale handle whose slot has been reused must not
+// cancel (or report on) the unrelated timer now occupying the slot.
+func TestStaleHandleCannotTouchReusedSlot(t *testing.T) {
+	k := New()
+	fired := false
+	t1 := k.After(10, func() {})
+	if !t1.Stop() {
+		t.Fatal("Stop failed")
+	}
+	t2 := k.After(20, func() { fired = true }) // reuses t1's slot
+	if t2.slot != t1.slot {
+		t.Fatalf("free list did not reuse the slot (t1=%d t2=%d)", t1.slot, t2.slot)
+	}
+	if t1.Stop() {
+		t.Fatal("stale handle cancelled the reused slot's timer")
+	}
+	if t1.Fired() {
+		t.Fatal("stale stopped handle reports Fired")
+	}
+	if !t2.Pending() {
+		t.Fatal("live timer lost its pending state")
+	}
+	k.Run()
+	if !fired {
+		t.Fatal("reused-slot timer never fired")
+	}
+	if !t2.Fired() || t2.Stopped() {
+		t.Fatal("fired timer state wrong")
+	}
+}
+
+// Pending is O(1): it must stay exact through heavy interleaved
+// schedule/stop/fire churn without scanning.
+func TestPendingExactUnderChurn(t *testing.T) {
+	k := New()
+	live := map[int]Timer{}
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			live[next] = k.After(Duration(1+(next%7)), func() {})
+			next++
+		}
+		for id, tm := range live {
+			if id%3 == 0 {
+				tm.Stop()
+				delete(live, id)
+			}
+		}
+		if k.Pending() != len(live) {
+			t.Fatalf("round %d: Pending=%d, want %d", round, k.Pending(), len(live))
+		}
+		k.RunFor(2)
+		for id, tm := range live {
+			if tm.Fired() {
+				delete(live, id)
+			}
+		}
+		if k.Pending() != len(live) {
+			t.Fatalf("round %d after RunFor: Pending=%d, want %d", round, k.Pending(), len(live))
+		}
+	}
+}
+
+func TestZeroTimerIsInert(t *testing.T) {
+	var tm Timer
+	if tm.Stop() || tm.Pending() || tm.Fired() || tm.Stopped() || tm.When() != 0 {
+		t.Fatal("zero Timer is not inert")
+	}
+}
+
 func TestNilCallbackPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -58,7 +58,7 @@ type channel struct {
 	idx   int
 	queue []*chItem
 	cur   *chItem
-	timer *sim.Timer
+	timer sim.Timer
 }
 
 func must(err error) {
@@ -94,7 +94,7 @@ func (d *Device) kick(c *channel) {
 func (d *Device) itemDone(c *channel) {
 	it := c.cur
 	c.cur = nil
-	c.timer = nil
+	c.timer = sim.Timer{}
 	d.applyComplete(it)
 	if it.onDone != nil {
 		it.onDone()
@@ -147,9 +147,9 @@ func (d *Device) applyOp(op *pageOp, kind itemKind) {
 func (d *Device) interruptChannels() {
 	now := d.k.Now()
 	for _, c := range d.channels {
-		if c.timer != nil {
+		if c.timer.Pending() {
 			c.timer.Stop()
-			c.timer = nil
+			c.timer = sim.Timer{}
 		}
 		if it := c.cur; it != nil {
 			c.cur = nil
@@ -216,9 +216,9 @@ func (d *Device) abandonItem(it *chItem) {
 // cache, and commit the journal, so nothing volatile is lost.
 func (d *Device) supercapComplete() {
 	for _, c := range d.channels {
-		if c.timer != nil {
+		if c.timer.Pending() {
 			c.timer.Stop()
-			c.timer = nil
+			c.timer = sim.Timer{}
 		}
 		if it := c.cur; it != nil {
 			c.cur = nil

@@ -102,9 +102,9 @@ type Device struct {
 	outstanding   []*command
 	flushWaiters  []*command
 
-	flushTimer    *sim.Timer
-	journalTimer  *sim.Timer
-	recoveryTimer *sim.Timer
+	flushTimer    sim.Timer
+	journalTimer  sim.Timer
+	recoveryTimer sim.Timer
 	metaInFlight  bool
 	gcActive      bool
 
@@ -440,14 +440,14 @@ func (d *Device) startFlush(cmd *command) {
 // --- background flusher ---
 
 func (d *Device) scheduleFlushTick() {
-	if d.cache == nil || d.flushTimer != nil || d.state == StateDead || d.state == StateRecovering {
+	if d.cache == nil || d.flushTimer.Pending() || d.state == StateDead || d.state == StateRecovering {
 		return
 	}
 	d.flushTimer = d.k.After(d.prof.FlushTick, d.flushTick)
 }
 
 func (d *Device) flushTick() {
-	d.flushTimer = nil
+	d.flushTimer = sim.Timer{}
 	if d.cache == nil || d.state == StateDead || d.state == StateRecovering {
 		return
 	}
@@ -526,14 +526,14 @@ func (d *Device) afterBackgroundWork() {
 // --- journal ---
 
 func (d *Device) startJournalTick() {
-	if d.journalTimer != nil {
+	if d.journalTimer.Pending() {
 		return
 	}
 	d.journalTimer = d.k.After(d.prof.JournalTick, d.journalTick)
 }
 
 func (d *Device) journalTick() {
-	d.journalTimer = nil
+	d.journalTimer = sim.Timer{}
 	if d.state == StateDead || d.state == StateRecovering {
 		return
 	}
@@ -667,9 +667,9 @@ func (d *Device) onBrownout() {
 		return
 	}
 	d.stats.Brownouts++
-	if d.state == StateRecovering && d.recoveryTimer != nil {
+	if d.state == StateRecovering && d.recoveryTimer.Pending() {
 		d.recoveryTimer.Stop()
-		d.recoveryTimer = nil
+		d.recoveryTimer = sim.Timer{}
 	}
 	d.state = StateUnavailable
 	for _, fn := range d.downListeners {
@@ -717,13 +717,13 @@ func (d *Device) onDie() {
 	}
 	cs := d.ftlm.Crash(d.k.Now())
 	d.stats.MappingsLost += int64(cs.Lost)
-	if d.flushTimer != nil {
+	if d.flushTimer.Pending() {
 		d.flushTimer.Stop()
-		d.flushTimer = nil
+		d.flushTimer = sim.Timer{}
 	}
-	if d.journalTimer != nil {
+	if d.journalTimer.Pending() {
 		d.journalTimer.Stop()
-		d.journalTimer = nil
+		d.journalTimer = sim.Timer{}
 	}
 	d.hasDirtySince = false
 	d.flushWaiters = nil
@@ -746,7 +746,7 @@ func (d *Device) onPowerGood() {
 	d.linkBusyUntil = 0
 	dur := d.prof.RecoveryBase + d.ftlm.RecoverDuration()
 	d.recoveryTimer = d.k.After(dur, func() {
-		d.recoveryTimer = nil
+		d.recoveryTimer = sim.Timer{}
 		d.state = StateReady
 		d.startJournalTick()
 		d.notifyReady()

@@ -47,6 +47,17 @@ func NewRunManifest(tool, figure string, scale float64) RunManifest {
 // have no final record.
 func OpenRunArchive(path string) (*RunArchive, error) { return runstore.Open(path) }
 
+// MergeRunArchives combines the item records of several run archives —
+// typically the N archives of an N-way sharded sweep — into one
+// in-memory archive for WithResume. Across archives, later records for
+// the same item key shadow earlier ones; archives disagreeing on figure
+// or scale are refused. A campaign over the full item list resumed from
+// the merge emits output byte-identical to an unsharded run (items
+// missing from every shard simply run locally).
+func MergeRunArchives(archives ...*RunArchive) (*RunArchive, error) {
+	return runstore.Merge(archives...)
+}
+
 // DiffRunArchives compares two run archives benchstat-style: items are
 // aligned by (figure, label), per-figure metrics get Welch 95% intervals
 // and a regressed/improved/unchanged verdict. cmd/powerstat prints the

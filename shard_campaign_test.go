@@ -1,0 +1,162 @@
+package powerfail_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"powerfail"
+)
+
+// runShards executes an n-way sharded, journaled campaign over items and
+// returns the loaded shard archives, verifying along the way that the
+// shards partition the item set exactly.
+func runShards(t *testing.T, items []powerfail.CatalogItem, parallelism, shards int) []*powerfail.RunArchive {
+	t.Helper()
+	dir := t.TempDir()
+	var archives []*powerfail.RunArchive
+	seen := map[string]int{}
+	total := 0
+	for s := 0; s < shards; s++ {
+		path := filepath.Join(dir, fmt.Sprintf("shard%d.run", s))
+		out, err := powerfail.NewCampaign(items,
+			powerfail.WithParallelism(parallelism),
+			powerfail.WithShard(s, shards),
+			powerfail.WithJournal(path, powerfail.NewRunManifest("test", items[0].Figure, 0)),
+		).Run(context.Background())
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", s, shards, err)
+		}
+		wantItems := 0
+		for i := range items {
+			if i%shards == s {
+				wantItems++
+			}
+		}
+		if out.Items != wantItems || out.Completed != wantItems {
+			t.Fatalf("shard %d/%d ran %d/%d items, want %d", s, shards, out.Completed, out.Items, wantItems)
+		}
+		arch, err := powerfail.OpenRunArchive(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if arch.Manifest.Shard != s || arch.Manifest.ShardCount != shards {
+			t.Fatalf("shard %d/%d manifest marker = %d/%d", s, shards, arch.Manifest.Shard, arch.Manifest.ShardCount)
+		}
+		if len(arch.Manifest.Items) != len(items) {
+			t.Fatalf("shard manifest lists %d items, want the full campaign's %d", len(arch.Manifest.Items), len(items))
+		}
+		if arch.Final == nil {
+			t.Fatalf("completed shard %d/%d has no final record", s, shards)
+		}
+		for _, rec := range arch.Items {
+			seen[rec.Key]++
+		}
+		total += len(arch.Items)
+		archives = append(archives, arch)
+	}
+	if total != len(items) {
+		t.Fatalf("shards journaled %d records in total, want %d", total, len(items))
+	}
+	for i, it := range items {
+		if n := seen[powerfail.ItemKey(it)]; n != 1 {
+			t.Fatalf("item %d journaled by %d shards, want exactly 1", i, n)
+		}
+	}
+	return archives
+}
+
+// TestCampaignShardMergeByteIdentical is the acceptance criterion: run a
+// figure as N journaled shards, merge the archives, and a campaign
+// resumed from the merge emits JSON byte-identical to the unsharded run
+// — at parallelism 1 and 8, even and uneven shard counts, with obs
+// summaries riding along.
+func TestCampaignShardMergeByteIdentical(t *testing.T) {
+	for _, parallelism := range []int{1, 8} {
+		for _, shards := range []int{2, 3} {
+			t.Run(fmt.Sprintf("parallel=%d/shards=%d", parallelism, shards), func(t *testing.T) {
+				items := obsItems(t, "fig5", 0.02, 0) // 5 items: 3 shards split unevenly
+				full, err := powerfail.NewCampaign(items,
+					powerfail.WithParallelism(parallelism),
+				).Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := campaignJSON(t, full)
+
+				archives := runShards(t, items, parallelism, shards)
+				merged, err := powerfail.MergeRunArchives(archives...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if merged.Manifest.ShardCount != 0 {
+					t.Fatalf("merged manifest still carries shard marker %d/%d",
+						merged.Manifest.Shard, merged.Manifest.ShardCount)
+				}
+				out, err := powerfail.NewCampaign(items,
+					powerfail.WithParallelism(parallelism),
+					powerfail.WithResume(merged),
+				).Run(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, res := range out.Results {
+					if !res.Reused {
+						t.Fatalf("item %d re-ran after a full shard merge", i)
+					}
+				}
+				if got := campaignJSON(t, out); got != want {
+					t.Fatalf("merged campaign JSON differs from unsharded run\nmerged %d bytes, want %d",
+						len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestCampaignShardEmpty: more shards than items leaves some shards with
+// zero work; they still journal valid, finalized, mergeable archives and
+// the merge of all shards reproduces the unsharded output.
+func TestCampaignShardEmpty(t *testing.T) {
+	items := obsItems(t, "fig5", 0.02, 2)
+	shards := len(items) + 1 // the last shard runs nothing
+
+	full, err := powerfail.NewCampaign(items).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := campaignJSON(t, full)
+
+	archives := runShards(t, items, 2, shards)
+	empty := archives[len(archives)-1]
+	if len(empty.Items) != 0 || empty.Final == nil || empty.Final.Items != 0 {
+		t.Fatalf("empty shard archive: %d records, final %+v", len(empty.Items), empty.Final)
+	}
+
+	merged, err := powerfail.MergeRunArchives(archives...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := powerfail.NewCampaign(items, powerfail.WithResume(merged)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := campaignJSON(t, out); got != want {
+		t.Fatal("merge including an empty shard differs from unsharded run")
+	}
+}
+
+// TestCampaignShardOutOfRange: an invalid shard index fails Run up front
+// instead of silently running nothing.
+func TestCampaignShardOutOfRange(t *testing.T) {
+	items := smallItems(t, "fig5", 0.02)
+	for _, bad := range [][2]int{{2, 2}, {-1, 2}} {
+		_, err := powerfail.NewCampaign(items,
+			powerfail.WithShard(bad[0], bad[1]),
+		).Run(context.Background())
+		if err == nil {
+			t.Fatalf("shard %d/%d: Run returned nil error", bad[0], bad[1])
+		}
+	}
+}
