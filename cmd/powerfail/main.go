@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		profile  = flag.String("profile", "A", "drive under test: A, B or C (Table I)")
+		profile  = flag.String("profile", "A", "drive under test: A, B, C (Table I) or Q (QLC)")
 		seed     = flag.Uint64("seed", 1, "experiment seed (reports reproduce per seed)")
 		faults   = flag.Int("faults", 50, "power faults to inject")
 		perFault = flag.Int("requests-per-fault", 16, "completed requests between faults")
@@ -54,7 +54,7 @@ func main() {
 
 	prof, ok := powerfail.ProfileByName(*profile)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown profile %q; use A, B or C\n", *profile)
+		fmt.Fprintf(os.Stderr, "unknown profile %q; use A, B, C or Q\n", *profile)
 		os.Exit(2)
 	}
 	if *nocache {

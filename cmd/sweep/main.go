@@ -18,11 +18,13 @@
 // Ctrl-C cancels the campaign and prints the completed subset.
 //
 // Figure ids: tablei fig4 window fig5 fig6 seqrand fig7 fig8 fig9 ablation
-// array cache txn txn-streams trace fleet all; `sweep -list` enumerates them
-// with titles and item counts. -figure is an alias for -set:
+// array erasure cache txn txn-streams trace fleet all; `sweep -list`
+// enumerates them with titles and item counts. -figure is an alias for
+// -set:
 //
 //	sweep -list                             # discover the registered figures
 //	sweep -figure array -parallel 4 -json   # RAID-0/1/5 under correlated faults
+//	sweep -figure erasure -parallel 4       # RAID-5/6/RS × member mix × cut severity
 //	sweep -figure cache -scale 0.5          # write-back vs write-through SSD cache
 //	sweep -figure txn -parallel 4           # WAL commits vs barrier policy and topology
 //	sweep -figure txn-streams -parallel 4   # concurrent WAL streams + recovery-policy ablation

@@ -1,0 +1,119 @@
+// Erasurecompare contrasts erasure-code strength under identical
+// correlated-fault schedules: RAID-5 (one parity), RAID-6 (P+Q over
+// GF(256)) and an 8+3 Reed-Solomon array, each in a uniform drive-A build
+// and a heterogeneous build carrying one large-cache QLC straggler. Every
+// member shares the platform's single simulated PSU, so one cut hits the
+// whole array mid-flight: stronger codes buy reconstruction headroom while
+// widening the multi-parity write hole, and the per-member attribution
+// shows the mixed arrays' failures concentrating on the weakest drive.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"powerfail"
+)
+
+func main() {
+	member := powerfail.ProfileA()
+	member.CapacityGB = 8
+	weak := powerfail.ProfileQ()
+	weak.CapacityGB = 8
+
+	mixed := func(level powerfail.ArrayLevel, n, parity int) powerfail.ArrayConfig {
+		members := make([]powerfail.SSDProfile, n)
+		for i := range members {
+			members[i] = member
+		}
+		members[n-1] = weak
+		cfg := powerfail.MixedRAIDConfig(level, members...)
+		cfg.Parity = parity
+		return cfg
+	}
+
+	configs := []struct {
+		label string
+		cfg   powerfail.ArrayConfig
+	}{
+		{"raid5/uniform", powerfail.RAIDConfig(powerfail.RAID5, 5, member)},
+		{"raid5/mixed", mixed(powerfail.RAID5, 5, 0)},
+		{"raid6/uniform", powerfail.RAIDConfig(powerfail.RAID6, 6, member)},
+		{"raid6/mixed", mixed(powerfail.RAID6, 6, 0)},
+		{"rs8+3/uniform", powerfail.RSConfig(8, 3, member)},
+		{"rs8+3/mixed", mixed(powerfail.RS, 11, 3)},
+	}
+
+	w := powerfail.Workload{
+		Name:     "erasure-writes",
+		WSSBytes: 2 << 30,
+		MinSize:  4 << 10,
+		MaxSize:  64 << 10,
+	}
+	var items []powerfail.CatalogItem
+	for i, tc := range configs {
+		items = append(items, powerfail.CatalogItem{
+			Figure: "erasurecompare",
+			Label:  tc.label,
+			X:      float64(i),
+			Opts:   powerfail.Options{Seed: 11, Topology: powerfail.ArrayTopology(tc.cfg)},
+			Spec: powerfail.Experiment{
+				Name:             tc.label,
+				Workload:         w,
+				Faults:           12,
+				RequestsPerFault: 12,
+			},
+		})
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	out, err := powerfail.NewCampaign(items, powerfail.WithParallelism(4)).Run(ctx)
+	if err != nil {
+		log.Fatalf("campaign: %v", err)
+	}
+
+	fmt.Println("Identical workload, fault schedule and seed per code:")
+	fmt.Printf("%-14s %-8s %-6s %-8s %-7s %-7s %-11s %-10s\n",
+		"code", "faults", "FWA", "data", "holes", "recon", "loss/fault", "iops")
+	for _, res := range out.Results {
+		r := res.Report
+		var holes, recon int64
+		if r.ArrayStats != nil {
+			holes, recon = r.ArrayStats.WriteHoles, r.ArrayStats.Reconstructions
+		}
+		fmt.Printf("%-14s %-8d %-6d %-8d %-7d %-7d %-11.2f %-10.0f\n",
+			res.Item.Label, r.Faults, r.Counters.FWA, r.Counters.DataFailures,
+			holes, recon, r.DataLossPerFault, r.RespondedIOPS)
+	}
+
+	fmt.Println("\nPer-member attribution (the mixed arrays' weak member is last):")
+	for _, res := range out.Results {
+		fmt.Printf("  %s:\n", res.Item.Label)
+		for _, m := range res.Report.Members {
+			fmt.Printf("    member %d (%s): served r=%d w=%d, dirty-lost=%d, attributed data=%d fwa=%d\n",
+				m.Index, m.Name, m.Reads, m.Writes, m.DirtyPagesLost, m.DataFailures, m.FWA)
+		}
+	}
+
+	fmt.Println("\nEach added parity widens the set of survivable cuts — and the")
+	fmt.Println("write hole: a RAID-6 small write must land 3 chunks, an 8+3 write 4.")
+	fmt.Println("The mixed builds show the weakest-member effect: the QLC straggler's")
+	fmt.Println("bigger, slower volatile cache concentrates the losses on its bays.")
+
+	// The straggler should lose at least as many dirty pages as any uniform
+	// sibling in the same code, in every mixed build.
+	for _, res := range out.Results {
+		members := res.Report.Members
+		if len(members) == 0 {
+			log.Fatalf("BUG: %s carries no member reports", res.Item.Label)
+		}
+		last := members[len(members)-1]
+		if last.Name == "Q" && last.DirtyPagesLost == 0 && res.Report.Counters.DataFailures > 0 {
+			log.Fatalf("BUG: %s: weak member lost no dirty pages despite data failures", res.Item.Label)
+		}
+	}
+}

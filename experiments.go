@@ -408,6 +408,76 @@ func ArrayItems(scale float64) []CatalogItem {
 	return items
 }
 
+// ErasureItems is the "erasure" figure: erasure-coded arrays under
+// correlated power faults, crossing code strength (RAID-5, RAID-6,
+// RS 8+3) × member mix (uniform drive-A members vs a mix with one
+// large-cache QLC straggler) × cut severity (the rig's capacitive PSU
+// discharge vs a near-instant transistor cut); >=40 faults per point at
+// scale 1. Stronger codes buy reconstruction headroom but widen the
+// multi-parity write hole; the mixed points show the weakest-member
+// effect in MemberReport — the straggler's share of the failures
+// dominates its peers'.
+func ErasureItems(scale float64) []CatalogItem {
+	codes := []struct {
+		tag    string
+		level  array.Level
+		n      int
+		parity int
+	}{
+		{"raid5", array.RAID5, 5, 0},
+		{"raid6", array.RAID6, 6, 0},
+		{"rs8+3", array.RS, 11, 3},
+	}
+	weak := ssd.ProfileQ()
+	weak.CapacityGB = 8 // keep member FTL state campaign-cheap, like arrayMember
+	cuts := []struct {
+		tag string
+		psu power.Config
+	}{
+		{"soft", power.Config{}}, // zero value: the Fig. 4 capacitive discharge
+		{"hard", power.Config{VNominal: 5, Capacitance: 2e-6, BleedOhms: 27.7, RiseTime: sim.Millis(1)}},
+	}
+	var items []CatalogItem
+	i := 0
+	for _, code := range codes {
+		for _, mix := range []string{"uniform", "mixed"} {
+			members := make([]ssd.Profile, code.n)
+			for j := range members {
+				members[j] = arrayMember()
+			}
+			if mix == "mixed" {
+				members[code.n-1] = weak
+			}
+			for _, cut := range cuts {
+				label := fmt.Sprintf("%s/%s/%s", code.tag, mix, cut.tag)
+				opts := Options{
+					Seed: 1900 + uint64(i),
+					Topology: ArrayTopology(array.Config{
+						Level:   code.level,
+						Members: members,
+						Parity:  code.parity,
+					}),
+					PSU: cut.psu,
+				}
+				items = append(items, CatalogItem{
+					Figure: "erasure",
+					Label:  label,
+					X:      float64(i),
+					Opts:   opts,
+					Spec: Experiment{
+						Name:             "erasure-" + strings.NewReplacer("/", "-", "+", "").Replace(label),
+						Workload:         arrayWrites(label),
+						Faults:           scaled(40, scale),
+						RequestsPerFault: 12,
+					},
+				})
+				i++
+			}
+		}
+	}
+	return items
+}
+
 // CacheItems is the "cache" figure: an SSD cache over a desktop HDD in
 // write-back versus write-through policy, for two cache drive models;
 // >=60 faults per point at scale 1. The write-back points lose
@@ -779,6 +849,7 @@ var figureRegistry = []figureEntry{
 	{"fig9", "Fig. 9 — impact of access sequence (RAR/RAW/WAR/WAW)", Fig9Items},
 	{"ablation", "Ablations — design-choice sensitivity", AblationItems},
 	{"array", "Arrays — RAID-0/1/5 under correlated power faults", ArrayItems},
+	{"erasure", "Erasure codes — RAID-5/6/RS(8+3) × member mix × cut severity", ErasureItems},
 	{"cache", "SSD cache over HDD — write-back vs write-through under faults", CacheItems},
 	{"txn", "Transactions — WAL barrier × topology × cut timing under faults", TxnItems},
 	{"txn-streams", "Multi-stream WAL — streams × barrier × topology, recovery-policy ablation", TxnStreamItems},
@@ -818,9 +889,9 @@ func FigureTitle(id string) string {
 }
 
 // ItemsFor returns the catalog slice for a figure id ("fig5".."fig9",
-// "window", "seqrand", "tablei", "ablation", "array", "cache", "txn",
-// "txn-streams", "trace", "fleet", "all"). Unknown ids error with the list of
-// registered ids.
+// "window", "seqrand", "tablei", "ablation", "array", "erasure", "cache",
+// "txn", "txn-streams", "trace", "fleet", "all"). Unknown ids error with
+// the list of registered ids.
 func ItemsFor(figure string, scale float64) ([]CatalogItem, error) {
 	if figure == "all" {
 		return AllItems(scale), nil

@@ -1,7 +1,10 @@
 // Package array composes several simulated drives into one composite
 // blockdev.Drive: striping (RAID-0), mirroring (RAID-1), rotating
-// distributed parity with read-modify-write (RAID-5), and an SSD cache
-// fronting an HDD in write-back or write-through policy.
+// distributed parity with read-modify-write (RAID-5), double parity over
+// GF(256) (RAID-6), general m+k Reed-Solomon (RS, any Parity erasures
+// reconstructable), and an SSD cache fronting an HDD in write-back or
+// write-through policy. Members may use heterogeneous SSD profiles, so a
+// mixed array can carry one weak (e.g. QLC) drive among stronger ones.
 //
 // The decisive property of the platform is that every member hangs off the
 // same simulated PSU, exactly like the drives in the paper's rig share one
@@ -16,6 +19,9 @@
 // Parity is computed over page fingerprints (content.Fingerprint is a
 // 64-bit content identifier, so XOR of fingerprints is a faithful stand-in
 // for XOR of page bytes: equal iff the underlying parity bytes are equal).
+// The coded levels extend this lane-wise: GF(256) multiplication applies
+// to each of a fingerprint's eight bytes, so Reed-Solomon algebra over
+// fingerprints stands in for the same algebra over page bytes.
 package array
 
 import (
@@ -37,12 +43,16 @@ import (
 type Level int
 
 // Array levels. Cached is the SSD-cache-over-HDD mode; the RAID levels
-// stripe, mirror, or rotate parity over the member SSDs.
+// stripe, mirror, or rotate parity over the member SSDs. RAID6 rotates
+// two parities (P+Q over GF(256)) and RS is the general m+k
+// Reed-Solomon level whose parity count Config.Parity picks.
 const (
 	RAID0 Level = iota
 	RAID1
 	RAID5
 	Cached
+	RAID6
+	RS
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +66,10 @@ func (l Level) String() string {
 		return "raid5"
 	case Cached:
 		return "cache"
+	case RAID6:
+		return "raid6"
+	case RS:
+		return "rs"
 	default:
 		return fmt.Sprintf("Level(%d)", int(l))
 	}
@@ -82,11 +96,20 @@ func (p CachePolicy) String() string {
 // Config describes a composite device.
 type Config struct {
 	Level Level
-	// Members are the SSD models of a RAID-0/1/5 array (ignored by Cached).
+	// Members are the per-member SSD models of a RAID or RS array (ignored
+	// by Cached). The entries need not be identical: a heterogeneous array
+	// mixes drive models (capacities, cache sizes, cell technologies), and
+	// the composite exports the capacity of its smallest member times the
+	// data-member count. Per-member failure attribution (MemberReport)
+	// makes the weakest member's contribution measurable.
 	Members []ssd.Profile
-	// StripePages is the RAID-0/5 chunk size in 4 KiB pages (default 16,
-	// a 64 KiB chunk).
+	// StripePages is the striped levels' chunk size in 4 KiB pages
+	// (default 16, a 64 KiB chunk).
 	StripePages int
+	// Parity is the parity-shard count per stripe for the erasure-coded
+	// levels: fixed at 1 for RAID5 and 2 for RAID6; for RS any value with
+	// at least two data members left (default 2). Ignored elsewhere.
+	Parity int
 
 	// Cache and Backing configure the Cached level: an SSD in front of an
 	// HDD. Zero values select ssd.ProfileA() and hdd.DefaultProfile().
@@ -102,6 +125,18 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.StripePages == 0 {
 		c.StripePages = 16
+	}
+	switch c.Level {
+	case RAID5:
+		c.Parity = 1
+	case RAID6:
+		c.Parity = 2
+	case RS:
+		if c.Parity == 0 {
+			c.Parity = 2
+		}
+	default:
+		c.Parity = 0
 	}
 	if c.Level == Cached {
 		if c.Cache.Name == "" {
@@ -138,6 +173,21 @@ func (c Config) Validate() error {
 		if len(c.Members) < 3 {
 			return fmt.Errorf("array: raid5 needs >= 3 members, got %d", len(c.Members))
 		}
+	case RAID6:
+		if len(c.Members) < 4 {
+			return fmt.Errorf("array: raid6 needs >= 4 members, got %d", len(c.Members))
+		}
+	case RS:
+		if c.Parity < 1 {
+			return fmt.Errorf("array: rs needs Parity >= 1, got %d", c.Parity)
+		}
+		if len(c.Members) < c.Parity+2 {
+			return fmt.Errorf("array: rs with %d parities needs >= %d members, got %d",
+				c.Parity, c.Parity+2, len(c.Members))
+		}
+		if len(c.Members) > 255 {
+			return fmt.Errorf("array: rs supports at most 255 members (GF(256) shards), got %d", len(c.Members))
+		}
 	case Cached:
 		if len(c.Members) != 0 {
 			return fmt.Errorf("array: cached level takes Cache/Backing, not Members")
@@ -164,15 +214,15 @@ type Stats struct {
 
 	// RAID counters.
 	ParityRMWs      int64 `json:"parity_rmws,omitempty"`
-	WriteHoles      int64 `json:"write_holes,omitempty"` // data/parity update where exactly one side was acknowledged
+	WriteHoles      int64 `json:"write_holes,omitempty"` // stripe update where a proper subset of data+parity writes was acknowledged
 	Reconstructions int64 `json:"reconstructions,omitempty"`
 	RedirectedReads int64 `json:"redirected_reads,omitempty"`
 	Divergences     int64 `json:"divergences,omitempty"` // mirror writes acknowledged by only a subset
-	// DoubleFailureLosses counts failure attributions made while the
-	// array's redundancy was exceeded (two or more RAID-5 members down at
-	// once): the affected stripes are unrecoverable data loss, not a
-	// single-member event.
-	DoubleFailureLosses int64 `json:"double_failure_losses,omitempty"`
+	// RedundancyExceededLosses counts failure attributions made while more
+	// members were down than the array's code tolerates (more than one for
+	// RAID-5, more than k for RAID-6/RS): the affected stripes are
+	// unrecoverable data loss, not a single-member event.
+	RedundancyExceededLosses int64 `json:"redundancy_exceeded_losses,omitempty"`
 
 	// Cache counters.
 	CacheHits    int64 `json:"cache_hits,omitempty"`
@@ -203,8 +253,9 @@ type Array struct {
 	up        []bool
 
 	// RAID geometry.
-	memberPages int64 // usable pages per member (stripe-rounded for 0/5)
+	memberPages int64 // usable pages per member (stripe-rounded for the striped levels)
 	userPages   int64
+	code        *Code // erasure code of the RAID6/RS levels (nil otherwise)
 
 	rrNext      int // raid1 read rotation cursor
 	stripeLocks map[int64][]func()
@@ -283,6 +334,11 @@ func New(k *sim.Kernel, r *sim.RNG, cfg Config, psu *power.PSU) (*Array, error) 
 		case RAID5:
 			a.memberPages = (minPages / sp) * sp
 			a.userPages = (n - 1) * a.memberPages
+		case RAID6, RS:
+			kp := int64(cfg.Parity)
+			a.memberPages = (minPages / sp) * sp
+			a.userPages = (n - kp) * a.memberPages
+			a.code = newCode(int(n-kp), int(kp))
 		}
 	}
 
@@ -445,6 +501,8 @@ func (a *Array) Submit(op blockdev.Op, lpn addr.LPN, pages int, data content.Dat
 		a.submitRAID1(op, lpn, pages, data, finish)
 	case RAID5:
 		a.submitRAID5(op, lpn, pages, data, finish)
+	case RAID6, RS:
+		a.submitCoded(op, lpn, pages, data, finish)
 	default:
 		a.submitCached(op, lpn, pages, data, finish)
 	}
@@ -474,27 +532,29 @@ func (a *Array) submitFlush(done func(error, content.Data)) {
 // Attribute maps an LPN range to the member indices that hold (or held)
 // the affected data: the striped members for RAID-0, every mirror for
 // RAID-1 (a divergent mirror cannot be singled out without a scrub), the
-// data plus parity members of the touched stripes for RAID-5, and for the
-// Cached level the cache SSD for pages with a resident line (dirty lines
-// live nowhere else) or the backing drive for uncached pages.
+// data plus parity members of the touched stripes for the parity levels,
+// and for the Cached level the cache SSD for pages with a resident line
+// (dirty lines live nowhere else) or the backing drive for uncached pages.
 //
-// A RAID-5 range touched while two or more members are down is explicit
-// data loss — every stripe spans every member, so no touched stripe can be
-// reconstructed. The attribution is then the set of down members (the
-// joint casualties), not the single-failure data+parity set, and the loss
-// is counted in Stats.DoubleFailureLosses.
+// A parity-level range touched while more members are down than the code
+// tolerates (more than k erasures: two members for RAID-5's single
+// parity, k+1 for RAID-6/RS) is explicit data loss — every stripe spans
+// every member, so no touched stripe can be reconstructed. The
+// attribution is then the set of down members (the joint casualties), not
+// the single-failure data+parity set, and the loss is counted in
+// Stats.RedundancyExceededLosses.
 func (a *Array) Attribute(lpn addr.LPN, pages int) []int {
-	if a.cfg.Level == RAID5 {
+	if kp := a.parityCount(); kp > 0 {
 		var down []int
 		for i, u := range a.up {
 			if !u {
 				down = append(down, i)
 			}
 		}
-		if len(down) >= 2 {
-			a.stats.DoubleFailureLosses++
-			a.tele.doubleFailures.Inc()
-			a.tele.sc.Instant(a.k.Now(), obs.KindInstant, "double_failure_loss", int64(lpn))
+		if len(down) > kp {
+			a.stats.RedundancyExceededLosses++
+			a.tele.redundancyExceeded.Inc()
+			a.tele.sc.Instant(a.k.Now(), obs.KindInstant, "redundancy_exceeded_loss", int64(lpn))
 			return down
 		}
 	}
@@ -530,10 +590,11 @@ func (a *Array) Attribute(lpn addr.LPN, pages int) []int {
 			out = append(out, m)
 		}
 	}
+	kp := a.parityCount()
 	for _, cr := range a.chunksOf(lpn, pages) {
 		add(cr.member)
-		if a.cfg.Level == RAID5 {
-			add(cr.parity)
+		for j := 0; j < kp; j++ {
+			add(a.parityMember(cr.parity, j))
 		}
 	}
 	return out
@@ -545,12 +606,73 @@ type chunkRange struct {
 	mlpn   addr.LPN // member-local page address
 	off    int      // page offset within the host request
 	n      int      // pages
-	stripe int64    // raid5: global stripe id (lock key)
-	parity int      // raid5: parity member index
+	stripe int64    // parity levels: global stripe id (lock key)
+	parity int      // parity levels: first parity member of the stripe's rotation
+	didx   int      // parity levels: logical data-shard index within the stripe
+}
+
+// parityCount returns the parity shards per stripe (0 for the non-parity
+// levels).
+func (a *Array) parityCount() int {
+	switch a.cfg.Level {
+	case RAID5, RAID6, RS:
+		return a.cfg.Parity
+	}
+	return 0
+}
+
+// parityMember returns the member holding the j-th parity shard of a
+// stripe whose rotating parity run starts at member p0.
+func (a *Array) parityMember(p0, j int) int { return (p0 + j) % len(a.members) }
+
+// isParityMember reports whether member m holds one of the k parity
+// shards of a stripe whose parity run starts at p0.
+func (a *Array) isParityMember(p0, m int) bool {
+	d := m - p0
+	if d < 0 {
+		d += len(a.members)
+	}
+	return d < a.parityCount()
+}
+
+// dataMember returns the member holding logical data shard idx of a
+// stripe whose parity run starts at p0: members in increasing index
+// order, skipping the parity run. (For RAID-5's single parity this is the
+// classic skip-one layout.)
+func (a *Array) dataMember(p0, idx int) int {
+	for m := 0; ; m++ {
+		if a.isParityMember(p0, m) {
+			continue
+		}
+		if idx == 0 {
+			return m
+		}
+		idx--
+	}
+}
+
+// slotOf returns member m's logical shard slot in a stripe whose parity
+// run starts at p0: data shards 0..m-1 in member order, then parity
+// shards in rotation order.
+func (a *Array) slotOf(p0, m int) int {
+	if a.isParityMember(p0, m) {
+		d := m - p0
+		if d < 0 {
+			d += len(a.members)
+		}
+		return len(a.members) - a.parityCount() + d
+	}
+	slot := 0
+	for i := 0; i < m; i++ {
+		if !a.isParityMember(p0, i) {
+			slot++
+		}
+	}
+	return slot
 }
 
 // chunksOf splits [lpn, lpn+pages) into per-member chunk ranges for the
-// striped levels (RAID-0 and RAID-5).
+// striped levels (RAID-0 and the parity levels).
 func (a *Array) chunksOf(lpn addr.LPN, pages int) []chunkRange {
 	sp := int64(a.cfg.StripePages)
 	n := int64(len(a.members))
@@ -565,17 +687,14 @@ func (a *Array) chunksOf(lpn addr.LPN, pages int) []chunkRange {
 		}
 		cr := chunkRange{off: off, n: run}
 		switch a.cfg.Level {
-		case RAID5:
-			dataPer := n - 1
+		case RAID5, RAID6, RS:
+			dataPer := n - int64(a.cfg.Parity)
 			stripe := chunk / dataPer
 			idx := int(chunk % dataPer)
 			parity := int(stripe % n)
-			m := idx
-			if m >= parity {
-				m++
-			}
-			cr.member = m
+			cr.member = a.dataMember(parity, idx)
 			cr.parity = parity
+			cr.didx = idx
 			cr.stripe = stripe
 			cr.mlpn = addr.LPN(stripe*sp + in)
 		default: // RAID0

@@ -289,7 +289,7 @@ func TestAttributeDoubleMemberFailure(t *testing.T) {
 	if len(got) != 2 {
 		t.Fatalf("single-failure attribution %v, want data+parity", got)
 	}
-	if n := r.arr.Stats().DoubleFailureLosses; n != 0 {
+	if n := r.arr.Stats().RedundancyExceededLosses; n != 0 {
 		t.Fatalf("single failure counted as double: %d", n)
 	}
 
@@ -299,8 +299,8 @@ func TestAttributeDoubleMemberFailure(t *testing.T) {
 	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
 		t.Fatalf("double-failure attribution %v, want the down members [0 2]", got)
 	}
-	if n := r.arr.Stats().DoubleFailureLosses; n != 1 {
-		t.Fatalf("DoubleFailureLosses = %d, want 1", n)
+	if n := r.arr.Stats().RedundancyExceededLosses; n != 1 {
+		t.Fatalf("RedundancyExceededLosses = %d, want 1", n)
 	}
 
 	// Three down: all three casualties are attributed.
@@ -315,8 +315,8 @@ func TestAttributeDoubleMemberFailure(t *testing.T) {
 	if got = r.arr.Attribute(0, 1); len(got) != 2 {
 		t.Fatalf("post-recovery attribution %v, want data+parity", got)
 	}
-	if n := r.arr.Stats().DoubleFailureLosses; n != 2 {
-		t.Fatalf("DoubleFailureLosses = %d, want 2", n)
+	if n := r.arr.Stats().RedundancyExceededLosses; n != 2 {
+		t.Fatalf("RedundancyExceededLosses = %d, want 2", n)
 	}
 }
 

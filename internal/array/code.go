@@ -1,0 +1,192 @@
+package array
+
+import (
+	"fmt"
+
+	"powerfail/internal/content"
+)
+
+// Code is an m+k maximum-distance-separable erasure code over page
+// fingerprints: m data shards produce k parity shards, and the stripe
+// survives the loss of any k of its m+k shards. Shards are indexed by
+// logical slot: data 0..m-1, then parity m..m+k-1.
+//
+// The parity matrix depends on k:
+//
+//   - k=1 is the all-ones row — plain XOR, the RAID-5 parity.
+//   - k=2 is the classic RAID-6 P+Q pair: P is the XOR row, Q weights
+//     data shard i by g^i. Any two erasures are reconstructable for
+//     m <= 255 (the standard RAID-6 result).
+//   - k>=3 uses a Cauchy matrix, coeff(j,i) = 1/(x_j ^ y_i) with
+//     x_j = m+j and y_i = i. Every square submatrix of a Cauchy matrix
+//     is invertible, so any k erasures of [I; C] are reconstructable.
+//
+// The ≤k-erasure round-trip invariant is pinned exhaustively by the
+// GF(256) property tests for every geometry the figures use.
+type Code struct {
+	m, k int
+	rows [][]byte // k parity rows × m data coefficients
+}
+
+// newCode builds the m+k code. It panics on geometries Validate rejects
+// (m < 1, k < 1, m+k > 255).
+func newCode(m, k int) *Code {
+	if m < 1 || k < 1 || m+k > 255 {
+		panic(fmt.Sprintf("array: unsupported code geometry %d+%d", m, k))
+	}
+	c := &Code{m: m, k: k, rows: make([][]byte, k)}
+	for j := range c.rows {
+		c.rows[j] = make([]byte, m)
+	}
+	switch {
+	case k == 1:
+		for i := 0; i < m; i++ {
+			c.rows[0][i] = 1
+		}
+	case k == 2:
+		for i := 0; i < m; i++ {
+			c.rows[0][i] = 1
+			c.rows[1][i] = gfExp[i%255]
+		}
+	default:
+		for j := 0; j < k; j++ {
+			for i := 0; i < m; i++ {
+				c.rows[j][i] = gfInv(byte(m+j) ^ byte(i))
+			}
+		}
+	}
+	return c
+}
+
+// M returns the data shard count.
+func (c *Code) M() int { return c.m }
+
+// K returns the parity shard count.
+func (c *Code) K() int { return c.k }
+
+// ParityCoeff returns the weight of data shard i in parity row j; the
+// delta-update of parity j after rewriting shard i XORs in
+// gfMulFP(ParityCoeff(j,i), old^new).
+func (c *Code) ParityCoeff(j, i int) byte { return c.rows[j][i] }
+
+// Encode computes the k parity fingerprints of one stripe row from its m
+// data fingerprints.
+func (c *Code) Encode(data []content.Fingerprint) []content.Fingerprint {
+	if len(data) != c.m {
+		panic(fmt.Sprintf("array: Encode got %d data shards, want %d", len(data), c.m))
+	}
+	out := make([]content.Fingerprint, c.k)
+	for j := 0; j < c.k; j++ {
+		var acc uint64
+		for i, d := range data {
+			acc ^= gfMulFP(c.rows[j][i], uint64(d))
+		}
+		out[j] = content.Fingerprint(acc)
+	}
+	return out
+}
+
+// ErrTooManyErasures reports a stripe row with more than k shards missing:
+// the data is unrecoverable.
+type ErrTooManyErasures struct{ Missing, K int }
+
+func (e ErrTooManyErasures) Error() string {
+	return fmt.Sprintf("array: %d shards missing exceeds the code's %d-erasure tolerance", e.Missing, e.K)
+}
+
+// Reconstruct fills the absent shards of one stripe row in place. shards
+// and present are indexed by logical slot (data 0..m-1, parity m..m+k-1);
+// entries with present[i] false are recomputed from the survivors. Any
+// combination of at most k absences succeeds exactly; more returns
+// ErrTooManyErasures.
+func (c *Code) Reconstruct(shards []content.Fingerprint, present []bool) error {
+	m, k := c.m, c.k
+	if len(shards) != m+k || len(present) != m+k {
+		panic(fmt.Sprintf("array: Reconstruct got %d/%d shards, want %d", len(shards), len(present), m+k))
+	}
+	missing := 0
+	for _, p := range present {
+		if !p {
+			missing++
+		}
+	}
+	if missing == 0 {
+		return nil
+	}
+	if missing > k {
+		return ErrTooManyErasures{Missing: missing, K: k}
+	}
+
+	// Take the first m surviving rows of the generator [I; rows] and solve
+	// A·d = v for the data vector by Gauss-Jordan elimination over GF(256),
+	// carrying the survivor values alongside the matrix.
+	a := make([][]byte, m)
+	v := make([]content.Fingerprint, m)
+	got := 0
+	for s := 0; s < m+k && got < m; s++ {
+		if !present[s] {
+			continue
+		}
+		row := make([]byte, m)
+		if s < m {
+			row[s] = 1
+		} else {
+			copy(row, c.rows[s-m])
+		}
+		a[got] = row
+		v[got] = shards[s]
+		got++
+	}
+
+	for col := 0; col < m; col++ {
+		pivot := -1
+		for r := col; r < m; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			// Cannot happen for the constructions above (any m rows of the
+			// generator are independent); guard anyway.
+			return fmt.Errorf("array: singular reconstruction matrix at column %d", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		if inv := a[col][col]; inv != 1 {
+			iv := gfInv(inv)
+			for cc := 0; cc < m; cc++ {
+				a[col][cc] = gfMul(iv, a[col][cc])
+			}
+			v[col] = content.Fingerprint(gfMulFP(iv, uint64(v[col])))
+		}
+		for r := 0; r < m; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			for cc := 0; cc < m; cc++ {
+				a[r][cc] ^= gfMul(f, a[col][cc])
+			}
+			v[r] = content.Fingerprint(uint64(v[r]) ^ gfMulFP(f, uint64(v[col])))
+		}
+	}
+
+	// v now holds the data shards; refill every absent slot.
+	for i := 0; i < m; i++ {
+		if !present[i] {
+			shards[i] = v[i]
+		}
+	}
+	for j := 0; j < k; j++ {
+		if present[m+j] {
+			continue
+		}
+		var acc uint64
+		for i := 0; i < m; i++ {
+			acc ^= gfMulFP(c.rows[j][i], uint64(v[i]))
+		}
+		shards[m+j] = content.Fingerprint(acc)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package array
+
+import (
+	"testing"
+
+	"powerfail/internal/addr"
+	"powerfail/internal/content"
+	"powerfail/internal/sim"
+	"powerfail/internal/ssd"
+)
+
+func rsConfig(n, parity int) Config {
+	members := make([]ssd.Profile, n)
+	for i := range members {
+		members[i] = smallSSD()
+	}
+	return Config{Level: RS, Members: members, Parity: parity}
+}
+
+func TestCodedGeometry(t *testing.T) {
+	r := newRig(t, raidConfig(RAID6, 5))
+	member := r.arr.Drive(0).UserPages()
+	sp := int64(r.arr.Config().StripePages)
+	if got := r.arr.UserPages(); got != 3*(member/sp)*sp {
+		t.Fatalf("raid6x5 capacity %d, want %d", got, 3*(member/sp)*sp)
+	}
+	if c := r.arr.code; c.M() != 3 || c.K() != 2 {
+		t.Fatalf("raid6x5 code %d+%d, want 3+2", c.M(), c.K())
+	}
+
+	r = newRig(t, rsConfig(6, 3))
+	member = r.arr.Drive(0).UserPages()
+	if got := r.arr.UserPages(); got != 3*(member/sp)*sp {
+		t.Fatalf("rs3+3 capacity %d, want %d", got, 3*(member/sp)*sp)
+	}
+
+	// Every stripe keeps its k parity members distinct from its data
+	// members, and the parity run rotates across all members.
+	seenParity := map[int]bool{}
+	for s := int64(0); s < 6; s++ {
+		first := addr.LPN(s * 3 * sp) // 3 data chunks per stripe
+		crs := r.arr.chunksOf(first, int(3*sp))
+		for _, cr := range crs {
+			seenParity[cr.parity] = true
+			if r.arr.isParityMember(cr.parity, cr.member) {
+				t.Fatalf("stripe %d: data chunk on a parity member: %+v", s, cr)
+			}
+			if cr.stripe != s {
+				t.Fatalf("stripe id %d, want %d", cr.stripe, s)
+			}
+		}
+	}
+	if len(seenParity) != 6 {
+		t.Fatalf("parity run rotated over %d members, want 6", len(seenParity))
+	}
+}
+
+func TestCodedRoundTripAndParity(t *testing.T) {
+	for _, cfg := range []Config{raidConfig(RAID6, 4), rsConfig(6, 3)} {
+		r := newRig(t, cfg)
+		sp := r.arr.Config().StripePages
+		kp := r.arr.parityCount()
+		payload := content.Random(sim.NewRNG(5), 2*sp)
+		if err := r.write(t, 0, payload); err != nil {
+			t.Fatalf("%v: %v", cfg.Level, err)
+		}
+		got, err := r.read(t, 0, 2*sp)
+		if err != nil || !got.Equal(payload) {
+			t.Fatalf("%v round trip: err=%v equal=%v", cfg.Level, err, got.Equal(payload))
+		}
+		if r.arr.Stats().ParityRMWs == 0 {
+			t.Fatalf("%v: no parity RMW cycles recorded", cfg.Level)
+		}
+
+		// Re-encoding the data shards of every touched row must give the
+		// shards stored on the parity members.
+		n := len(cfg.Members)
+		for _, cr := range r.arr.chunksOf(0, 2*sp) {
+			rows := make([]content.Data, n)
+			for m := 0; m < n; m++ {
+				rows[m] = readMember(t, r, m, cr.mlpn, cr.n)
+			}
+			for i := 0; i < cr.n; i++ {
+				data := make([]content.Fingerprint, n-kp)
+				for m := 0; m < n; m++ {
+					if slot := r.arr.slotOf(cr.parity, m); slot < n-kp {
+						data[slot] = rows[m].Page(i)
+					}
+				}
+				parity := r.arr.code.Encode(data)
+				for j := 0; j < kp; j++ {
+					pm := r.arr.parityMember(cr.parity, j)
+					if rows[pm].Page(i) != parity[j] {
+						t.Fatalf("%v: parity %d inconsistent at chunk %+v page %d", cfg.Level, j, cr, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCodedReconstructEveryChunk drives the degraded-read path directly:
+// for every chunk of a written range, reconstruction from the other
+// members must reproduce the direct read, whichever member is missing.
+func TestCodedReconstructEveryChunk(t *testing.T) {
+	r := newRig(t, rsConfig(6, 3))
+	sp := r.arr.Config().StripePages
+	payload := content.Random(sim.NewRNG(6), 3*sp)
+	if err := r.write(t, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	before := r.arr.Stats().Reconstructions
+	for _, cr := range r.arr.chunksOf(0, 3*sp) {
+		direct := readMember(t, r, cr.member, cr.mlpn, cr.n)
+		result := make([]content.Fingerprint, cr.off+cr.n)
+		done := false
+		var rerr error
+		r.arr.codeReconstruct(cr, result, func(err error) { rerr = err; done = true })
+		r.k.RunWhile(func() bool { return !done })
+		if rerr != nil {
+			t.Fatalf("reconstruct chunk %+v: %v", cr, rerr)
+		}
+		for i := 0; i < cr.n; i++ {
+			if result[cr.off+i] != direct.Page(i) {
+				t.Fatalf("chunk %+v page %d: reconstructed %x, direct %x", cr, i, result[cr.off+i], direct.Page(i))
+			}
+		}
+	}
+	if got := r.arr.Stats().Reconstructions - before; got == 0 {
+		t.Fatal("no reconstructions recorded")
+	}
+}
+
+// TestAttributeRedundancyExceeded generalizes the RAID-5 double-failure
+// rule: a RAID-6 array tolerates any two dark members and only counts a
+// redundancy-exceeded loss at the third.
+func TestAttributeRedundancyExceeded(t *testing.T) {
+	r := newRig(t, raidConfig(RAID6, 5))
+
+	// One and two members down: ordinary data+parity attribution, no loss.
+	r.arr.onMemberDown(1)
+	r.arr.onMemberDown(3)
+	got := r.arr.Attribute(0, 1)
+	if len(got) != 3 { // data member + 2 parity members of the stripe
+		t.Fatalf("two-failure attribution %v, want data+2 parity", got)
+	}
+	if n := r.arr.Stats().RedundancyExceededLosses; n != 0 {
+		t.Fatalf("k simultaneous failures counted as loss: %d", n)
+	}
+
+	// Third member down: the code's tolerance is exceeded.
+	r.arr.onMemberDown(0)
+	got = r.arr.Attribute(0, 1)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 3 {
+		t.Fatalf("k+1-failure attribution %v, want the down members [0 1 3]", got)
+	}
+	if n := r.arr.Stats().RedundancyExceededLosses; n != 1 {
+		t.Fatalf("RedundancyExceededLosses = %d, want 1", n)
+	}
+
+	// Recovery drops back below the threshold.
+	r.arr.onMemberReady(0)
+	if got = r.arr.Attribute(0, 1); len(got) != 3 {
+		t.Fatalf("post-recovery attribution %v, want data+2 parity", got)
+	}
+	if n := r.arr.Stats().RedundancyExceededLosses; n != 1 {
+		t.Fatalf("RedundancyExceededLosses = %d, want 1", n)
+	}
+}
+
+func TestCodedFaultRecovery(t *testing.T) {
+	for _, cfg := range []Config{raidConfig(RAID6, 4), rsConfig(5, 2)} {
+		r := newRig(t, cfg)
+		payload := content.Random(sim.NewRNG(7), 4)
+		if err := r.write(t, 10, payload); err != nil {
+			t.Fatalf("%v: %v", cfg.Level, err)
+		}
+		r.fault(t)
+		if _, err := r.read(t, 10, 4); err != nil {
+			t.Fatalf("%v: read after recovery: %v", cfg.Level, err)
+		}
+	}
+}
+
+func TestCodedConfigValidation(t *testing.T) {
+	if _, err := New(sim.New(), sim.NewRNG(1), raidConfig(RAID6, 3), nil); err == nil {
+		t.Fatal("raid6 with 3 members validated")
+	}
+	if _, err := New(sim.New(), sim.NewRNG(1), rsConfig(3, 2), nil); err == nil {
+		t.Fatal("rs leaving one data member validated")
+	}
+	cfg := rsConfig(4, 0) // Parity 0 defaults to 2
+	arr, err := New(sim.New(), sim.NewRNG(1), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.Config().Parity != 2 {
+		t.Fatalf("rs default parity %d, want 2", arr.Config().Parity)
+	}
+}

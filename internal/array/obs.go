@@ -7,26 +7,26 @@ import (
 // arrayObs holds the composite's observability handles; the zero value
 // is the disabled state (nil handles no-op).
 type arrayObs struct {
-	sc              obs.Scope
-	writeHoles      *obs.Counter
-	reconstructions *obs.Counter
-	parityRMWs      *obs.Counter
-	doubleFailures  *obs.Counter
+	sc                 obs.Scope
+	writeHoles         *obs.Counter
+	reconstructions    *obs.Counter
+	parityRMWs         *obs.Counter
+	redundancyExceeded *obs.Counter
 }
 
 // Observe attaches the array to an observability scope, recording the
-// multi-device failure phenomena as counters plus trace instants: RAID-5
-// write holes, degraded-read reconstructions and double-failure losses.
-// A disabled scope is a no-op.
+// multi-device failure phenomena as counters plus trace instants: parity
+// write holes, degraded-read reconstructions and redundancy-exceeded
+// losses. A disabled scope is a no-op.
 func (a *Array) Observe(sc obs.Scope) {
 	if !sc.Enabled() {
 		return
 	}
 	a.tele = arrayObs{
-		sc:              sc,
-		writeHoles:      sc.Counter("write_holes"),
-		reconstructions: sc.Counter("reconstructions"),
-		parityRMWs:      sc.Counter("parity_rmws"),
-		doubleFailures:  sc.Counter("double_failure_losses"),
+		sc:                 sc,
+		writeHoles:         sc.Counter("write_holes"),
+		reconstructions:    sc.Counter("reconstructions"),
+		parityRMWs:         sc.Counter("parity_rmws"),
+		redundancyExceeded: sc.Counter("redundancy_exceeded_losses"),
 	}
 }

@@ -10,11 +10,14 @@ import (
 type CellKind int
 
 // Supported cell technologies. The paper's drives are MLC (SSDs A and C)
-// and TLC (SSD B).
+// and TLC (SSD B); QLC extends the scale past the paper's rig for the
+// heterogeneous-array experiments, where one denser, more fragile member
+// dominates an erasure-coded array's failure profile.
 const (
 	SLC CellKind = iota + 1
 	MLC
 	TLC
+	QLC
 )
 
 // String implements fmt.Stringer.
@@ -26,6 +29,8 @@ func (c CellKind) String() string {
 		return "MLC"
 	case TLC:
 		return "TLC"
+	case QLC:
+		return "QLC"
 	default:
 		return fmt.Sprintf("CellKind(%d)", int(c))
 	}
@@ -35,7 +40,7 @@ func (c CellKind) String() string {
 func (c CellKind) BitsPerCell() int { return int(c) }
 
 // Valid reports whether c is a known technology.
-func (c CellKind) Valid() bool { return c >= SLC && c <= TLC }
+func (c CellKind) Valid() bool { return c >= SLC && c <= QLC }
 
 // ProgramSteps is the number of incremental step pulse programming (ISPP)
 // iterations a full page program performs. A power cut lands between
@@ -49,6 +54,8 @@ func (c CellKind) ProgramSteps() int {
 		return 8
 	case TLC:
 		return 16
+	case QLC:
+		return 32
 	default:
 		return 8
 	}
@@ -74,6 +81,14 @@ func (c CellKind) PairedLowerPages(page int) []int {
 			out = append(out, page-6)
 		}
 		return out
+	case QLC:
+		var out []int
+		for _, d := range []int{2, 4, 6} {
+			if page >= d {
+				out = append(out, page-d)
+			}
+		}
+		return out
 	}
 	return nil
 }
@@ -89,6 +104,8 @@ func (c CellKind) PairCorruptProb() float64 {
 		return 0.45
 	case TLC:
 		return 0.65
+	case QLC:
+		return 0.8
 	default:
 		return 0.45
 	}
@@ -108,6 +125,8 @@ func TimingFor(c CellKind) Timing {
 		return Timing{ReadPage: 25 * sim.Microsecond, ProgramPage: 300 * sim.Microsecond, EraseBlock: 2 * sim.Millisecond}
 	case TLC:
 		return Timing{ReadPage: 90 * sim.Microsecond, ProgramPage: 2200 * sim.Microsecond, EraseBlock: 5 * sim.Millisecond}
+	case QLC:
+		return Timing{ReadPage: 140 * sim.Microsecond, ProgramPage: 3500 * sim.Microsecond, EraseBlock: 8 * sim.Millisecond}
 	default: // MLC
 		return Timing{ReadPage: 60 * sim.Microsecond, ProgramPage: 900 * sim.Microsecond, EraseBlock: 3500 * sim.Microsecond}
 	}

@@ -92,6 +92,8 @@ func DefaultBER(c CellKind) float64 {
 		return 1e-8
 	case TLC:
 		return 3e-5
+	case QLC:
+		return 8e-5
 	default:
 		return 1e-5
 	}
@@ -104,6 +106,8 @@ func DefaultEndurance(c CellKind) int {
 		return 100000
 	case TLC:
 		return 1500
+	case QLC:
+		return 500
 	default:
 		return 3000
 	}

@@ -1,8 +1,10 @@
 // Package fleet scales the platform from one PSU to a datacenter: a
 // fault-domain tree (room → rack → enclosure → PSU) in which every node
 // owns a power state and a cut can target any node, propagating to every
-// drive beneath it, plus a fleet of redundancy groups with standby spares
-// and per-member rebuild state machines running over the tree.
+// drive beneath it, plus a fleet of m+k redundancy groups (Config.Parity
+// parity bays each; a group tolerates up to Parity concurrent casualties)
+// with standby spares and per-member rebuild state machines running over
+// the tree.
 //
 // The tree replaces the single shared power.PSU assumption with
 // placement-derived correlation, in the spirit of Meza et al.'s datacenter

@@ -153,8 +153,14 @@ type Config struct {
 	Domains DomainConfig `json:"domains"`
 	// Arrays is the number of redundancy groups (default 8).
 	Arrays int `json:"arrays"`
-	// GroupSize is members per group, RAID-5-like m+1 (default 4).
+	// GroupSize is members per group (default 4). With the default
+	// Parity of 1 this is the RAID-5-like m+1 arrangement.
 	GroupSize int `json:"group_size"`
+	// Parity is the per-group erasure tolerance k of an m+k code: the
+	// group serves degraded with up to Parity bays unavailable and only
+	// declares data loss when more than Parity bays hold declared-invalid
+	// data (default 1, the RAID-5 rule; 2 models RAID-6 groups).
+	Parity int `json:"parity"`
 	// Spares is the standby spare drive count; zero means none.
 	Spares int `json:"spares"`
 	// Member is the drive service model.
@@ -187,6 +193,9 @@ func (c Config) WithDefaults() Config {
 	if c.GroupSize == 0 {
 		c.GroupSize = 4
 	}
+	if c.Parity == 0 {
+		c.Parity = 1
+	}
 	c.Member = c.Member.withDefaults()
 	if c.Host == (blockdev.Config{}) {
 		c.Host = blockdev.DefaultConfig()
@@ -210,6 +219,9 @@ func (c Config) Validate() error {
 	}
 	if c.GroupSize < 2 {
 		return fmt.Errorf("fleet: group size must be >= 2, got %d", c.GroupSize)
+	}
+	if c.Parity < 1 || c.Parity >= c.GroupSize {
+		return fmt.Errorf("fleet: parity must be in [1, group size), got %d of %d", c.Parity, c.GroupSize)
 	}
 	if c.Spares < 0 {
 		return fmt.Errorf("fleet: spares must be >= 0, got %d", c.Spares)
@@ -244,6 +256,7 @@ func (c Config) Validate() error {
 type Stats struct {
 	Arrays    int          `json:"arrays"`
 	GroupSize int          `json:"group_size"`
+	Parity    int          `json:"parity"`
 	Members   int          `json:"members"`
 	Spares    int          `json:"spares"`
 	Duration  sim.Duration `json:"duration_ns"`
@@ -615,33 +628,40 @@ func (f *Sim) issueForeground(g *Group) {
 
 	targetsR := f.scratchR[:0]
 	targetsW := f.scratchW[:0]
+	need := len(g.slots) - f.cfg.Parity // data shards of the m+k group
 	if isRead {
 		if slot.state == SlotHealthy {
 			targetsR = append(targetsR, slot.member)
 		} else {
-			// Degraded read: RAID-5 reconstruction needs every other bay.
+			// Degraded read: erasure reconstruction needs any m of the
+			// other bays (every other bay for the RAID-5-like Parity=1).
 			for _, o := range g.slots {
-				if o == slot {
+				if o == slot || o.state != SlotHealthy {
 					continue
 				}
-				if o.state != SlotHealthy {
-					f.stats.FgFailed++
-					return
-				}
 				targetsR = append(targetsR, o.member)
+				if len(targetsR) == need {
+					break
+				}
+			}
+			if len(targetsR) < need {
+				f.stats.FgFailed++
+				return
 			}
 		}
 	} else {
-		parity := g.slots[(si+1)%len(g.slots)]
 		if slot.state == SlotHealthy {
 			targetsW = append(targetsW, slot.member)
 		}
-		if parity.state == SlotHealthy {
-			targetsW = append(targetsW, parity.member)
+		for j := 1; j <= f.cfg.Parity; j++ {
+			if parity := g.slots[(si+j)%len(g.slots)]; parity.state == SlotHealthy {
+				targetsW = append(targetsW, parity.member)
+			}
 		}
-		// A degraded write lands on whichever of the pair is up; the dark
-		// bay's copy is reconstructed by the eventual rebuild. (The RAID-5
-		// read-modify-write pre-reads are not modelled at fleet scale.)
+		// A degraded write lands on whichever of the data+parity set is up;
+		// the dark bays' copies are reconstructed by the eventual rebuild.
+		// (The parity read-modify-write pre-reads are not modelled at fleet
+		// scale.)
 		if len(targetsW) == 0 {
 			f.stats.FgFailed++
 			return
@@ -672,6 +692,7 @@ func (f *Sim) finalize() {
 	st := &f.stats
 	st.Arrays = f.cfg.Arrays
 	st.GroupSize = f.cfg.GroupSize
+	st.Parity = f.cfg.Parity
 	st.Members = len(f.members)
 	st.Spares = f.cfg.Spares
 	st.Duration = f.cfg.Duration

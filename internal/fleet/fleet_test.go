@@ -172,6 +172,46 @@ func TestDoubleFailureLosesData(t *testing.T) {
 	}
 }
 
+// TestParityTwoSurvivesDoubleFailure pins the m+k loss rule: an enclosure
+// cut downs exactly two bays of every group in its rack (placement puts
+// one bay per PSU leaf), which exceeds a Parity=1 group's redundancy but
+// stays inside a Parity=2 group's.
+func TestParityTwoSurvivesDoubleFailure(t *testing.T) {
+	script := []CutEvent{{At: sim.Time(2 * sim.Second), Level: Enclosure, Index: 0, Outage: 10 * sim.Second}}
+	base := scriptedConfig(script, 0)
+	base.Duration = 40 * sim.Second
+
+	st5, err := Run(base, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st5.LossEvents == 0 || st5.DownTime == 0 {
+		t.Fatalf("parity=1 fleet survived a two-bay outage: losses=%d down=%v", st5.LossEvents, st5.DownTime)
+	}
+
+	raid6 := base
+	raid6.Parity = 2
+	st6, err := Run(raid6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st6.Parity != 2 {
+		t.Fatalf("stats parity %d, want 2", st6.Parity)
+	}
+	if st6.LossEvents != 0 || st6.BytesLost != 0 {
+		t.Fatalf("parity=2 fleet lost data under two-bay outage: events=%d bytes=%d", st6.LossEvents, st6.BytesLost)
+	}
+	if st6.DownTime != 0 {
+		t.Fatalf("parity=2 fleet went down under two-bay outage: %v", st6.DownTime)
+	}
+	if st6.DegradedTime == 0 {
+		t.Fatal("parity=2 fleet recorded no degraded time despite the outage")
+	}
+	if st6.RebuildCompleted == 0 {
+		t.Fatal("parity=2 fleet completed no resilver after power returned")
+	}
+}
+
 func TestNinesDecreaseWithCutLevel(t *testing.T) {
 	run := func(level Level) *Stats {
 		cfg := scriptedConfig([]CutEvent{{At: sim.Time(2 * sim.Second), Level: level, Index: 0, Outage: 5 * sim.Second}}, 2)
@@ -220,6 +260,8 @@ func TestConfigValidation(t *testing.T) {
 	bad := []Config{
 		{Arrays: -1},
 		{GroupSize: 1},
+		{GroupSize: 4, Parity: 4},
+		{Parity: -1},
 		{Spares: -2},
 		{Workload: WorkloadConfig{ReadFraction: 1.5}},
 		{Faults: FaultPlan{Script: []CutEvent{{Level: Level(9), Outage: sim.Second}}}},

@@ -77,10 +77,10 @@ func (s *Slot) State() SlotState { return s.state }
 // Member returns the drive currently behind the bay.
 func (s *Slot) Member() *Member { return s.member }
 
-// Group is one redundancy group of the fleet: GroupSize member bays in a
-// RAID-5-like m+1 arrangement (any single bay reconstructible from the
-// rest). The group tracks its own up/degraded/down intervals for the
-// availability nines.
+// Group is one redundancy group of the fleet: GroupSize member bays in an
+// m+k arrangement (any Config.Parity bays reconstructible from the rest;
+// the default Parity of 1 is the RAID-5-like m+1 group). The group tracks
+// its own up/degraded/down intervals for the availability nines.
 type Group struct {
 	f     *Sim
 	id    int
@@ -131,14 +131,14 @@ func (g *Group) unavailable() int {
 }
 
 // recount reclassifies the group after a slot transition, closing the
-// previous up/degraded/down interval. Redundancy is one bay: with two or
-// more bays unavailable the group cannot serve reads.
+// previous up/degraded/down interval. Redundancy is Config.Parity bays:
+// with more than that unavailable the group cannot serve reads.
 func (g *Group) recount() {
 	var c groupClass
 	switch u := g.unavailable(); {
 	case u == 0:
 		c = classUp
-	case u <= 1:
+	case u <= g.f.cfg.Parity:
 		c = classDegraded
 	default:
 		c = classDown
@@ -218,7 +218,7 @@ func (s *Slot) declare() {
 	s.openWindow()
 
 	// Count bays with declared (not merely transient) invalid data. If this
-	// declaration exceeds the group's single-bay redundancy, the un-rebuilt
+	// declaration exceeds the group's Parity-bay redundancy, the un-rebuilt
 	// data is gone: charge a loss event and fall back to the backup tier.
 	declared := 0
 	for _, o := range s.g.slots {
@@ -226,7 +226,7 @@ func (s *Slot) declare() {
 			declared++
 		}
 	}
-	if declared >= 1 { // this bay is the second declared casualty
+	if declared >= f.cfg.Parity { // this bay is the k+1-th declared casualty
 		f.stats.LossEvents++
 		f.stats.BytesLost += s.member.prof.Pages * 4096
 		s.mode = rebuildInter
@@ -360,17 +360,22 @@ func (s *Slot) step(gen uint64) {
 		return
 	}
 
-	// Intra-group: every other bay must be readable to reconstruct.
+	// Intra-group: any m of the other bays suffice to reconstruct (all of
+	// them when Parity is 1).
+	need := len(s.g.slots) - f.cfg.Parity
 	var survivors []*Member
 	for _, o := range s.g.slots {
-		if o == s {
+		if o == s || o.state != SlotHealthy || !o.member.Ready() {
 			continue
 		}
-		if o.state != SlotHealthy || !o.member.Ready() {
-			s.stall()
-			return
-		}
 		survivors = append(survivors, o.member)
+		if len(survivors) == need {
+			break
+		}
+	}
+	if len(survivors) < need {
+		s.stall()
+		return
 	}
 	remaining := len(survivors)
 	failed := false

@@ -311,12 +311,29 @@ func ProfileC() Profile {
 	}.Normalize()
 }
 
+// ProfileQ models a dense budget drive beyond the paper's rig: 512 GB
+// SATA QLC with a large volatile cache, slow channel programs, and LDPC
+// ECC working against a high raw bit error rate. In a heterogeneous
+// array it is the weakest member: more dirty pages die in its cache on a
+// cut, and its interrupted programs corrupt more paired pages.
+func ProfileQ() Profile {
+	return Profile{
+		Name: "Q", Vendor: "vendor-q", CapacityGB: 512, Interface: "SATA",
+		ReleaseYear: 2019, Cell: flash.QLC,
+		ECC:      flash.ECCConfig{Scheme: "LDPC", CorrectPerKB: 100},
+		HasCache: true, CacheMB: 64,
+		Channels: 4, ChanProgBytesPerSec: 25e6,
+		FlushIdleAge: 900 * sim.Millisecond,
+	}.Normalize()
+}
+
 // Profiles returns the Table I drive models in order.
 func Profiles() []Profile { return []Profile{ProfileA(), ProfileB(), ProfileC()} }
 
-// ProfileByName finds a stock profile.
+// ProfileByName finds a stock profile: the Table I drives plus the QLC
+// extension "Q".
 func ProfileByName(name string) (Profile, bool) {
-	for _, p := range Profiles() {
+	for _, p := range append(Profiles(), ProfileQ()) {
 		if p.Name == name {
 			return p, true
 		}

@@ -28,13 +28,17 @@
 //
 // The device side of the platform is selected by Options.Topology: the
 // single SSD of the paper (the default), a single HDD comparator, or a
-// multi-device array — RAID-0/1/5 over SSDs, or an SSD cache fronting an
-// HDD in write-back or write-through policy. Every member of an array
-// hangs off the platform's one simulated PSU, exactly like the drives in
-// the paper's rig share one Arduino-switched ATX supply, so a power cut
-// is correlated across the whole array: RAID-5 write holes, mirror
-// divergence and lost dirty cache lines emerge from the per-device models
-// composing, not from scripted outcomes.
+// multi-device array — RAID-0/1/5/6 or general m+k Reed-Solomon over
+// SSDs, or an SSD cache fronting an HDD in write-back or write-through
+// policy. Every member of an array hangs off the platform's one simulated
+// PSU, exactly like the drives in the paper's rig share one
+// Arduino-switched ATX supply, so a power cut is correlated across the
+// whole array: parity write holes, mirror divergence and lost dirty cache
+// lines emerge from the per-device models composing, not from scripted
+// outcomes. Array members need not be identical — a heterogeneous mix
+// (say TLC drives with one large-cache QLC straggler) makes the weakest
+// member's contribution measurable through per-member failure
+// attribution.
 //
 // Traffic comes from one of three IO sources behind a single pluggable
 // interface: the paper's synthetic workload generator (the default), the
@@ -61,8 +65,8 @@
 // construction.
 //
 // The Experiments catalog reproduces every figure of the paper's
-// evaluation, plus the "array", "cache" and "fleet" figures over the
-// composite and fleet topologies; cmd/sweep drives it from the command
+// evaluation, plus the "array", "erasure", "cache" and "fleet" figures
+// over the composite and fleet topologies; cmd/sweep drives it from the command
 // line (-parallel fans out, -json emits the machine-readable
 // CampaignResult).
 package powerfail
@@ -120,7 +124,7 @@ type (
 	PSUConfig = power.Config
 	// HostConfig is the block-layer configuration.
 	HostConfig = blockdev.Config
-	// CellKind is the flash cell technology (SLC/MLC/TLC).
+	// CellKind is the flash cell technology (SLC/MLC/TLC/QLC).
 	CellKind = flash.CellKind
 
 	// Topology selects the device side of the platform: single SSD
@@ -129,8 +133,9 @@ type (
 	Topology = core.Topology
 	// TopologyKind enumerates the topologies.
 	TopologyKind = core.TopologyKind
-	// ArrayConfig describes a composite device (RAID-0/1/5 members and
-	// stripe size, or the SSD-cache-over-HDD pair and its policy).
+	// ArrayConfig describes a composite device (RAID-0/1/5/6 or
+	// Reed-Solomon members, stripe size and parity count, or the
+	// SSD-cache-over-HDD pair and its policy).
 	ArrayConfig = array.Config
 	// ArrayLevel selects striping, mirroring, parity, or caching.
 	ArrayLevel = array.Level
@@ -184,10 +189,10 @@ type (
 
 	// FleetConfig describes a datacenter-scale fleet experiment: the
 	// fault-domain tree (room → rack → enclosure → PSU), the population of
-	// redundancy groups with standby spares, the rebuild policy, the fault
-	// plan over the tree and the foreground workload. Assign a pointer to
-	// Options.Fleet to run the fleet path instead of the single-device
-	// platform.
+	// m+k redundancy groups (Parity bays each; default 1, RAID-5-like)
+	// with standby spares, the rebuild policy, the fault plan over the
+	// tree and the foreground workload. Assign a pointer to Options.Fleet
+	// to run the fleet path instead of the single-device platform.
 	FleetConfig = fleet.Config
 	// FleetDomains sizes the fault-domain tree.
 	FleetDomains = fleet.DomainConfig
@@ -257,6 +262,7 @@ const (
 	SLC = flash.SLC
 	MLC = flash.MLC
 	TLC = flash.TLC
+	QLC = flash.QLC
 )
 
 // Device topologies.
@@ -266,12 +272,16 @@ const (
 	TopoArray = core.TopoArray
 )
 
-// Array levels and cache policies.
+// Array levels and cache policies. RAID6 rotates two parities (P+Q over
+// GF(256)); RS is the general Reed-Solomon level whose parity count
+// ArrayConfig.Parity picks.
 const (
 	RAID0  = array.RAID0
 	RAID1  = array.RAID1
 	RAID5  = array.RAID5
 	Cached = array.Cached
+	RAID6  = array.RAID6
+	RS     = array.RS
 
 	WriteBack    = array.WriteBack
 	WriteThrough = array.WriteThrough
@@ -361,10 +371,15 @@ func ProfileB() SSDProfile { return ssd.ProfileB() }
 // ProfileC returns the second MLC drive model of Table I.
 func ProfileC() SSDProfile { return ssd.ProfileC() }
 
+// ProfileQ returns the QLC extension drive beyond Table I: dense, big
+// volatile cache, slow programs — the weakest member of a heterogeneous
+// array.
+func ProfileQ() SSDProfile { return ssd.ProfileQ() }
+
 // Profiles returns all stock drive models.
 func Profiles() []SSDProfile { return ssd.Profiles() }
 
-// ProfileByName finds a stock profile ("A", "B", "C").
+// ProfileByName finds a stock profile ("A", "B", "C", "Q").
 func ProfileByName(name string) (SSDProfile, bool) { return ssd.ProfileByName(name) }
 
 // DefaultWorkload is the paper's base workload: uniform random writes,
@@ -388,12 +403,28 @@ func ArrayTopology(cfg ArrayConfig) Topology {
 }
 
 // RAIDConfig builds an n-member array of identical drives at the given
-// level (RAID0, RAID1 or RAID5).
+// level (RAID0, RAID1, RAID5 or RAID6).
 func RAIDConfig(level ArrayLevel, n int, member SSDProfile) ArrayConfig {
 	members := make([]SSDProfile, n)
 	for i := range members {
 		members[i] = member
 	}
+	return ArrayConfig{Level: level, Members: members}
+}
+
+// RSConfig builds a data+parity Reed-Solomon array of identical drives:
+// any parity simultaneous member losses stay reconstructable.
+func RSConfig(data, parity int, member SSDProfile) ArrayConfig {
+	cfg := RAIDConfig(RS, data+parity, member)
+	cfg.Parity = parity
+	return cfg
+}
+
+// MixedRAIDConfig builds a heterogeneous array from an explicit member
+// list at the given level; capacity is the smallest member's times the
+// data-member count, and MemberReport shows each drive's share of the
+// failures (the weakest-member effect).
+func MixedRAIDConfig(level ArrayLevel, members ...SSDProfile) ArrayConfig {
 	return ArrayConfig{Level: level, Members: members}
 }
 
@@ -431,9 +462,10 @@ func DefaultTxnConfig() TxnConfig { return txn.DefaultConfig() }
 // TxnStats.
 func TxnApp(cfg TxnConfig) AppConfig { return AppConfig{Txn: &cfg} }
 
-// DefaultFleetConfig returns the stock fleet: 8 RAID-5 groups of 4 with 2
-// standby spares on a 2-rack × 2-enclosure × 2-PSU fault-domain tree,
-// 3 random PSU-level cuts over 30 simulated seconds.
+// DefaultFleetConfig returns the stock fleet: 8 single-parity groups of 4
+// with 2 standby spares on a 2-rack × 2-enclosure × 2-PSU fault-domain
+// tree, 3 random PSU-level cuts over 30 simulated seconds. Set Parity for
+// RAID-6-like or wider m+k groups.
 func DefaultFleetConfig() FleetConfig { return fleet.DefaultConfig() }
 
 // FleetNines converts an availability or durability fraction into "nines"

@@ -43,7 +43,8 @@ func TestProfiles(t *testing.T) {
 // catalogFigures is every figure id ItemsFor accepts besides "all".
 var catalogFigures = []string{
 	"tablei", "window", "fig5", "fig6", "seqrand", "fig7", "fig8", "fig9",
-	"ablation", "array", "cache", "txn", "txn-streams", "trace", "fleet",
+	"ablation", "array", "erasure", "cache", "txn", "txn-streams", "trace",
+	"fleet",
 }
 
 func TestCatalogCoverage(t *testing.T) {
